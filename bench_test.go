@@ -1,0 +1,154 @@
+package ice_test
+
+import (
+	"testing"
+
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/experiments"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/workload"
+)
+
+// The benchmark suite regenerates every table and figure of the paper at
+// reduced scale (Options.Fast): each iteration is a complete, deterministic
+// simulation of the corresponding experiment. ns/op therefore reports how
+// long regenerating that artefact takes; the figures' actual numbers come
+// from `go run ./cmd/experiments -run all`.
+
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Fast: true, Rounds: 1, Seed: int64(i + 1), Parallel: false}
+}
+
+// BenchmarkTable1 regenerates Table 1 (CPU utilisation vs cached apps).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (FPS per scenario and BG case).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure1(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure2a regenerates Figure 2a (reclaim/refault totals); it
+// shares Figure 1's runner and renders the 2a table.
+func BenchmarkFigure2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure1(benchOpts(i))
+		_ = res.Figure2aString()
+	}
+}
+
+// BenchmarkFigure2b regenerates Figure 2b (FPS vs BG-refault deciles).
+func BenchmarkFigure2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2b(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (the eight-user study).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (per-process reclaim study).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (FPS/RIA, schemes × scenarios ×
+// devices).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (FPS/RIA vs cached-app count).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (refault/reclaim per scheme).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(benchOpts(i))
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (power manager vs Ice); it shares
+// Figure 10's runner and renders the Table 5 view.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure10(benchOpts(i))
+		_ = res.Table5String()
+	}
+}
+
+// BenchmarkSystemPressure regenerates §6.2.2 (I/O and CPU reduction).
+func BenchmarkSystemPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.SystemPressure(benchOpts(i))
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (launch speed and hot-launch
+// counts).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(benchOpts(i))
+	}
+}
+
+// BenchmarkAblations regenerates the ICE design-point ablation table.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Ablations(benchOpts(i))
+	}
+}
+
+// --- micro-benchmarks on the hot paths underneath the experiments ---
+
+// BenchmarkScenarioSecond measures simulating one second of the loaded
+// video-call scenario (the inner loop of Figures 1, 8 and 9).
+func BenchmarkScenarioSecond(b *testing.B) {
+	sch, _ := policy.ByName("Ice")
+	sys, fgName := workload.NewScenarioSystem(workload.ScenarioConfig{
+		Scenario: "S-A", Device: device.P20, Scheme: sch, BGCase: workload.BGApps, Seed: 1,
+	})
+	rng := sim.NewRand(99)
+	workload.CacheApps(sys, workload.PickBGApps(rng, 8, fgName), 500*sim.Millisecond)
+	sys.AM.RequestForeground(fgName, nil)
+	sys.RunUntil(sys.AM.LaunchIdle, 120*sim.Second, 20*sim.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(sim.Second)
+	}
+}
+
+// BenchmarkColdLaunch measures one cold application launch under memory
+// pressure (the unit of Figure 11a).
+func BenchmarkColdLaunch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, fgName := workload.NewScenarioSystem(workload.ScenarioConfig{
+			Scenario: "S-A", Device: device.P20, Scheme: policy.Baseline{},
+			BGCase: workload.BGApps, Seed: int64(i),
+		})
+		rng := sim.NewRand(int64(i))
+		workload.CacheApps(sys, workload.PickBGApps(rng, 8, fgName), 200*sim.Millisecond)
+		b.StartTimer()
+		sys.AM.RequestForeground(fgName, nil)
+		sys.RunUntil(sys.AM.LaunchIdle, 120*sim.Second, 20*sim.Millisecond)
+	}
+}

@@ -1,0 +1,165 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated devices.
+//
+// Usage:
+//
+//	experiments -run all            # everything (slow, full fidelity)
+//	experiments -run fig8 -fast     # one experiment, reduced scale
+//	experiments -list               # enumerate experiment IDs
+//
+// Experiment IDs: table1, fig1, fig2a, fig2b, fig3, fig4, fig8, fig9,
+// fig10, table5, pressure, fig11, ablations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/eurosys23/ice/internal/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func(experiments.Options) string
+	// data returns the structured result for -json output.
+	data func(experiments.Options) interface{}
+}
+
+func runners() []runner {
+	return []runner{
+		{"table1", "CPU utilisation vs cached BG apps", func(o experiments.Options) string {
+			return experiments.Table1(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Table1(o)
+		}},
+		{"fig1", "FPS per scenario and BG case", func(o experiments.Options) string {
+			return experiments.Figure1(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure1(o)
+		}},
+		{"fig2a", "reclaim/refault totals per BG case", func(o experiments.Options) string {
+			return experiments.Figure1(o).Figure2aString()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure1(o)
+		}},
+		{"fig2b", "frame rate vs BG-refault deciles", func(o experiments.Options) string {
+			return experiments.Figure2b(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure2b(o)
+		}},
+		{"fig3", "user study: refault ratio and BG share", func(o experiments.Options) string {
+			return experiments.Figure3(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure3(o)
+		}},
+		{"fig4", "per-process reclaim refault categorisation", func(o experiments.Options) string {
+			return experiments.Figure4(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure4(o)
+		}},
+		{"fig8", "FPS/RIA per scheme, scenario, device", func(o experiments.Options) string {
+			return experiments.Figure8(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure8(o)
+		}},
+		{"fig9", "FPS/RIA vs number of cached apps", func(o experiments.Options) string {
+			return experiments.Figure9(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure9(o)
+		}},
+		{"fig10", "refault/reclaim per scheme", func(o experiments.Options) string {
+			return experiments.Figure10(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure10(o)
+		}},
+		{"table5", "power-manager freezing vs Ice", func(o experiments.Options) string {
+			return experiments.Figure10(o).Table5String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure10(o)
+		}},
+		{"pressure", "I/O and CPU pressure reduction", func(o experiments.Options) string {
+			return experiments.SystemPressure(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.SystemPressure(o)
+		}},
+		{"fig11", "application launching (speed, hot-launch ratio)", func(o experiments.Options) string {
+			return experiments.Figure11(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Figure11(o)
+		}},
+		{"ablations", "ICE design-point ablations", func(o experiments.Options) string {
+			return experiments.Ablations(o).String()
+		}, func(o experiments.Options) interface{} {
+			return experiments.Ablations(o)
+		}},
+	}
+}
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment ID, comma list, or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		fast     = flag.Bool("fast", false, "reduced rounds/durations")
+		rounds   = flag.Int("rounds", 0, "override repetition count")
+		seed     = flag.Int64("seed", 0, "override base seed")
+		parallel = flag.Bool("parallel", true, "run rounds on parallel goroutines")
+		asJSON   = flag.Bool("json", false, "emit structured JSON instead of tables")
+	)
+	flag.Parse()
+
+	all := runners()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-10s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	opts := experiments.Options{Fast: *fast, Rounds: *rounds, Seed: *seed, Parallel: *parallel}
+
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		for id := range want {
+			if !hasRunner(all, id) {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, r := range all {
+		if *run != "all" && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		if *asJSON {
+			if err := enc.Encode(map[string]interface{}{"id": r.id, "result": r.data(opts)}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", r.id, r.desc)
+		fmt.Println(r.run(opts))
+		fmt.Printf("(%s in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func hasRunner(rs []runner, id string) bool {
+	for _, r := range rs {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+// Command icesim runs one interactive scenario on a simulated device and
+// prints the user-experience and memory-management outcome.
+//
+// Usage:
+//
+//	icesim -device P20 -scenario S-A -scheme Ice -bg 8 -duration 60
+//	icesim -device Pixel3 -scenario S-D -scheme LRU+CFS -case memtester
+//
+// Schemes: LRU+CFS, UCSG, Acclaim, Ice, PowerManager.
+// Cases: null, apps, cputester, memtester.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/workload"
+)
+
+func main() {
+	var (
+		devName  = flag.String("device", "P20", "device profile: Pixel3, P20, P40, Pixel4")
+		scenario = flag.String("scenario", "S-A", "scenario: S-A (video call), S-B (short video), S-C (scrolling), S-D (game)")
+		scheme   = flag.String("scheme", "LRU+CFS", "management scheme")
+		bgCase   = flag.String("case", "apps", "background case: null, apps, cputester, memtester")
+		numBG    = flag.Int("bg", 0, "cached BG apps (0 = device default)")
+		duration = flag.Int("duration", 60, "measured seconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		series   = flag.Bool("series", false, "print the per-second FPS series")
+		traceN   = flag.Int("trace", 0, "record a Systrace-like event ring of this capacity and print its summary")
+	)
+	flag.Parse()
+
+	dev, ok := device.ByName(*devName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *devName)
+		os.Exit(2)
+	}
+	sch, err := policy.ByName(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var bc workload.BGCase
+	switch *bgCase {
+	case "null":
+		bc = workload.BGNull
+	case "apps":
+		bc = workload.BGApps
+	case "cputester":
+		bc = workload.BGCputester
+	case "memtester":
+		bc = workload.BGMemtester
+	default:
+		fmt.Fprintf(os.Stderr, "unknown case %q\n", *bgCase)
+		os.Exit(2)
+	}
+
+	res := workload.RunScenario(workload.ScenarioConfig{
+		Scenario: *scenario,
+		Device:   dev,
+		Scheme:   sch,
+		BGCase:   bc,
+		NumBG:    *numBG,
+		Duration: sim.Time(*duration) * sim.Second,
+		Seed:     *seed,
+		TraceCap: *traceN,
+	})
+
+	fmt.Printf("device    : %s\n", dev)
+	fmt.Printf("scenario  : %s (%s), scheme %s, %v\n", *scenario, bc, sch.Name(), res.Config.Duration)
+	fmt.Printf("frames    : %s\n", res.Frames)
+	fmt.Printf("memory    : reclaimed=%d refaulted=%d (FG %d / BG %d, 4KiB-eq x16)\n",
+		res.Mem.Total.Reclaimed, res.Mem.Total.Refaulted, res.Mem.RefaultFG, res.Mem.RefaultBG)
+	fmt.Printf("          : refault ratio %.1f%%, BG share %.1f%%, direct-reclaim episodes %d\n",
+		100*res.Mem.RefaultRatio(), 100*res.Mem.BGRefaultShare(), res.Mem.DirectReclaimEpisodes)
+	fmt.Printf("cpu       : utilisation %.1f%% (peak %.1f%%)\n",
+		100*res.CPU.Utilization(), 100*res.CPU.PeakUtilization())
+	fmt.Printf("flash i/o : %d requests, %d pages read, %d written\n",
+		res.IO.TotalRequests(), res.IO.PagesRead, res.IO.PagesWritten)
+	fmt.Printf("zram      : %d stored, %d loaded, %d rejected-full\n",
+		res.Zram.StoredTotal, res.Zram.LoadedTotal, res.Zram.RejectedFull)
+	fmt.Printf("lmk kills : %d\n", res.LMKKills)
+	if res.Distances.Count > 0 {
+		fmt.Printf("workingset: refault distance mean=%.0f p50≤%d p90≤%d (n=%d)\n",
+			res.Distances.Mean(), res.Distances.Percentile(50), res.Distances.Percentile(90), res.Distances.Count)
+	}
+	if res.FrozenApps > 0 {
+		fmt.Printf("ice       : %d applications frozen\n", res.FrozenApps)
+	}
+	if *series {
+		fmt.Printf("fps series: ")
+		for _, f := range res.Frames.FPSSeries {
+			fmt.Printf("%.0f ", f)
+		}
+		fmt.Println()
+	}
+	if res.Trace != nil {
+		fmt.Println("trace summary (count × event, total arg):")
+		for _, s := range res.Trace.Summarize() {
+			fmt.Printf("  %6d  %-8s %-14s argsum=%d\n", s.Count, s.Cat, s.Name, s.ArgSum)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package ice is a full reproduction of "ICE: Collaborating Memory and
+// Process Management for User Experience on Resource-limited Mobile
+// Devices" (EuroSys 2023).
+//
+// The paper's contribution — refault-driven process freezing (RPF) and
+// memory-aware dynamic thawing (MDT) — lives in internal/core. Because the
+// original system is a modified Android kernel running on real phones,
+// every substrate it needs is built here as a deterministic discrete-event
+// simulation:
+//
+//   - internal/sim      — event-driven simulation kernel (virtual time, PRNG)
+//   - internal/mm       — Linux-style memory manager: LRU lists, watermarks,
+//     kswapd, direct reclaim, refault shadow entries
+//   - internal/zram     — compressed swap
+//   - internal/storage  — UFS/eMMC flash with read/write queueing
+//   - internal/proc     — processes, tasks, the freezer, oom_score_adj
+//   - internal/sched    — CFS-like fair scheduler
+//   - internal/android  — activity manager, low-memory killer, 60 Hz frame
+//     pipeline, cold/hot launches
+//   - internal/app      — the 20-app catalog of the paper's Table 3
+//   - internal/policy   — comparison schemes: LRU+CFS, UCSG, Acclaim,
+//     vendor power-manager freezing, and ICE itself
+//   - internal/workload — the paper's experimental procedures
+//   - internal/experiments — one runner per table and figure
+//
+// Start with the runnable examples:
+//
+//	go run ./examples/quickstart
+//	go run ./examples/gamenight
+//	go run ./examples/appswitch
+//
+// Regenerate the paper's evaluation:
+//
+//	go run ./cmd/experiments -run all
+//
+// Or drive a single scenario:
+//
+//	go run ./cmd/icesim -device Pixel3 -scenario S-D -scheme Ice
+//
+// The benchmark suite at the repository root (bench_test.go) exercises one
+// reduced-scale run per table/figure:
+//
+//	go test -bench=. -benchmem
+package ice

@@ -1,0 +1,74 @@
+// Gamenight: the paper's hardest scenario — PUBG Mobile on a low-end
+// Pixel3 with six applications cached behind it. Runs every management
+// scheme, prints the per-second FPS timeline for the stock system and ICE,
+// and shows which applications ICE froze and when the MDT heartbeat thawed
+// them.
+//
+//	go run ./examples/gamenight
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/workload"
+)
+
+func sparkline(series []float64, max float64) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range series {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+func main() {
+	fmt.Println("Game night: PUBG Mobile on a Pixel3, six apps cached behind it")
+	fmt.Printf("device: %s\n\n", device.Pixel3)
+
+	var timelines = map[string][]float64{}
+	for _, schemeName := range []string{"LRU+CFS", "UCSG", "Acclaim", "Ice"} {
+		scheme, err := policy.ByName(schemeName)
+		if err != nil {
+			panic(err)
+		}
+		res := workload.RunScenario(workload.ScenarioConfig{
+			Scenario: "S-D", // PUBG Mobile
+			Device:   device.Pixel3,
+			Scheme:   scheme,
+			BGCase:   workload.BGApps,
+			NumBG:    6,
+			Duration: 60 * sim.Second,
+			Seed:     99,
+		})
+		timelines[schemeName] = res.Frames.FPSSeries
+		fmt.Printf("%-8s %.1f fps  RIA %4.1f%%  refaults %5d  reclaims %5d",
+			schemeName, res.Frames.AvgFPS(), 100*res.Frames.RIA(),
+			res.Mem.Total.Refaulted, res.Mem.Total.Reclaimed)
+		if ice, ok := scheme.(*policy.Ice); ok && ice.Framework != nil {
+			st := ice.Framework.Stats()
+			fmt.Printf("  [froze %d apps, %d thaw cycles, E_f=%v]",
+				st.UniqueFrozenUID, st.Epochs, ice.Framework.CurrentEf())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nper-second FPS timeline (60s, ▁=0 … █=45):")
+	for _, name := range []string{"LRU+CFS", "Ice"} {
+		fmt.Printf("%-8s %s\n", name, sparkline(timelines[name], 45))
+	}
+	fmt.Println("\nThe stock system's timeline collapses whenever a background sync")
+	fmt.Println("storm refaults; under ICE those apps are frozen and the battle")
+	fmt.Println("royale keeps its frame rate through the round-start allocation spikes.")
+}

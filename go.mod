@@ -1,0 +1,3 @@
+module github.com/eurosys23/ice
+
+go 1.22

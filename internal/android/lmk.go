@@ -1,0 +1,79 @@
+package android
+
+import (
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/trace"
+)
+
+// LMK is the low-memory killer: when reclaim fails to restore the minimum
+// watermark, it kills the cached application with the highest
+// oom_score_adj (the least recently used, non-perceptible one). Killed
+// apps must cold launch next time — which is why ICE's reduced memory
+// pressure translates into more hot launches (Figure 11b).
+type LMK struct {
+	sys *System
+
+	// Kills counts applications killed since the last reset.
+	Kills int
+
+	// lastKill throttles kill storms: one kill per cooldown window.
+	lastKill sim.Time
+}
+
+// lmkCooldown is the minimum spacing between kills.
+const lmkCooldown = 500 * sim.Millisecond
+
+func newLMK(sys *System) *LMK {
+	l := &LMK{sys: sys, lastKill: -lmkCooldown}
+	sys.MM.OnPressure(l.onPressure)
+	return l
+}
+
+func (l *LMK) onPressure() {
+	now := l.sys.Eng.Now()
+	// The cooldown paces ordinary kills; a device that is actually out of
+	// physical memory cannot wait.
+	if now-l.lastKill < lmkCooldown && l.sys.MM.FreePages() >= 0 {
+		return
+	}
+	victim := l.pickVictim()
+	if victim == nil {
+		return
+	}
+	l.lastKill = now
+	l.Kills++
+	l.kill(victim)
+}
+
+// kill tears an application down and reindexes the cached list.
+func (l *LMK) kill(victim *Instance) {
+	l.sys.Trace.Emit(trace.Event{
+		When: l.sys.Eng.Now(), Cat: trace.CatLMK, Name: "kill",
+		Subject: victim.UID, Arg: int64(victim.ResidentPages()),
+	})
+	l.sys.AM.removeCached(victim)
+	victim.teardown()
+	l.sys.AM.refreshCachedAdj()
+}
+
+// KillForTest kills a specific application through the LMK teardown path.
+// Tests use it to exercise kill-related bookkeeping deterministically.
+func (l *LMK) KillForTest(in *Instance) { l.kill(in) }
+
+// pickVictim returns the running cached app with the highest adj score,
+// preferring the oldest entry in the cached list. Perceptible apps are
+// spared unless nothing else remains.
+func (l *LMK) pickVictim() *Instance {
+	cached := l.sys.AM.cachedMRU
+	for i := len(cached) - 1; i >= 0; i-- {
+		if cached[i].Running() && !cached[i].Spec.Perceptible {
+			return cached[i]
+		}
+	}
+	for i := len(cached) - 1; i >= 0; i-- {
+		if cached[i].Running() {
+			return cached[i]
+		}
+	}
+	return nil
+}

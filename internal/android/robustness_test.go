@@ -1,0 +1,225 @@
+package android
+
+import (
+	"testing"
+
+	"github.com/eurosys23/ice/internal/app"
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/proc"
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// Failure injection: kill an application while it is frozen. Nothing may
+// reference its memory afterwards and a relaunch must work.
+func TestKillWhileFrozen(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "Facebook")
+	launchWait(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	sys.FreezeApp(fb.UID)
+	sys.LMK.KillForTest(fb)
+	if fb.Running() || fb.ResidentPages() != 0 {
+		t.Fatal("frozen app not fully torn down")
+	}
+	sys.Run(5 * sim.Second) // stale timers must be inert
+	rec := launchWait(t, sys, "Facebook")
+	if !rec.Cold {
+		t.Fatal("relaunch after frozen kill not cold")
+	}
+	if fb.Frozen() {
+		t.Fatal("relaunched app inherited frozen state")
+	}
+}
+
+// Failure injection: freeze an application whose task is blocked on flash
+// I/O. The completion must not resurrect the task while frozen.
+func TestFreezeDuringIO(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "Facebook")
+	launchWait(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	// Evict so the next wake blocks on a flash read, then freeze just as
+	// it begins.
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(500 * sim.Millisecond)
+	sys.FreezeApp(fb.UID)
+	cpu0 := fb.main.TotalCPU()
+	sys.Run(5 * sim.Second)
+	if got := fb.main.TotalCPU(); got != cpu0 {
+		t.Fatalf("frozen app executed %v CPU after I/O completion", got-cpu0)
+	}
+}
+
+// Thaw latency: a thawed app must not run before ThawLatency elapses.
+func TestThawLatencyRespected(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.ThawLatency = 200 * sim.Millisecond
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "Facebook")
+	launchWait(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	sys.FreezeApp(fb.UID)
+	sys.Run(2 * sim.Second)
+	// Queue work, thaw, and check nothing ran inside the latency window.
+	task := fb.main.Tasks[0]
+	sys.Sched.Post(task, &proc.Work{CPU: sim.Millisecond})
+	cpu0 := task.CPUTime
+	sys.ThawApp(fb.UID)
+	sys.Run(100 * sim.Millisecond)
+	if task.CPUTime != cpu0 {
+		t.Fatal("task ran during thaw latency")
+	}
+	sys.Run(200 * sim.Millisecond)
+	if task.CPUTime == cpu0 {
+		t.Fatal("task never ran after thaw latency")
+	}
+}
+
+// Double freeze / double thaw must be idempotent.
+func TestFreezeThawIdempotent(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "Facebook")
+	launchWait(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	if n := sys.FreezeApp(fb.UID); n == 0 {
+		t.Fatal("freeze failed")
+	}
+	if n := sys.FreezeApp(fb.UID); n != 0 {
+		t.Fatal("double freeze reported new freezes")
+	}
+	if n := sys.ThawApp(fb.UID); n == 0 {
+		t.Fatal("thaw failed")
+	}
+	if n := sys.ThawApp(fb.UID); n != 0 {
+		t.Fatal("double thaw reported new thaws")
+	}
+}
+
+// LMK under a kill storm must stop at the last cached app and never touch
+// the foreground.
+func TestLMKNeverKillsForeground(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "Facebook")
+	launchWait(t, sys, "WhatsApp")
+	for i := 0; i < 10; i++ {
+		v := sys.LMK.pickVictim()
+		if v == nil {
+			break
+		}
+		if v.Name() == "WhatsApp" {
+			t.Fatal("LMK picked the foreground app")
+		}
+		sys.LMK.KillForTest(v)
+	}
+	if !sys.AM.App("WhatsApp").Running() {
+		t.Fatal("foreground app died")
+	}
+}
+
+// The renderer must survive its app being killed mid-session.
+func TestRendererSurvivesAppKill(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "WhatsApp")
+	r := NewRenderer(sys)
+	r.Start(sys.AM.App("WhatsApp"))
+	sys.Run(sim.Second)
+	// Kill through the teardown path (not a normal situation for an FG
+	// app, but the pipeline must not wedge the engine).
+	sys.AM.App("WhatsApp").teardown()
+	sys.Run(2 * sim.Second)
+	r.Stop()
+}
+
+// Burst allocation (the PUBG round-start spike) must respect the physical
+// memory budget under extreme pressure.
+func TestBurstUnderPressure(t *testing.T) {
+	sys := NewSystem(3, device.Pixel3)
+	sys.AM.InstallAll(app.Catalog())
+	for _, n := range []string{"Facebook", "TikTok", "WeChat", "Chrome", "Netflix", "Amazon", "PUBGMobile"} {
+		launchWait(t, sys, n)
+	}
+	r := NewRenderer(sys)
+	r.Start(sys.AM.App("PUBGMobile"))
+	sys.Run(90 * sim.Second) // cross at least two burst periods
+	r.Stop()
+	free := sys.MM.FreePages()
+	if free < -sys.MM.Config().MinWatermark {
+		t.Fatalf("physical memory overdrawn: free=%d", free)
+	}
+	if r.Rec.Snapshot(sys.Eng.Now()).Completed == 0 {
+		t.Fatal("game rendered nothing")
+	}
+}
+
+// Hooks fire in lifecycle order and with the right subjects.
+func TestHookSequence(t *testing.T) {
+	sys := newTestSystem(t)
+	var events []string
+	sys.Hooks.AppLaunch = append(sys.Hooks.AppLaunch, func(in *Instance) {
+		events = append(events, "launch:"+in.Name())
+	})
+	sys.Hooks.FGChange = append(sys.Hooks.FGChange, func(prev, cur *Instance) {
+		name := "none"
+		if cur != nil {
+			name = cur.Name()
+		}
+		events = append(events, "fg:"+name)
+	})
+	sys.Hooks.AppCached = append(sys.Hooks.AppCached, func(in *Instance) {
+		events = append(events, "cached:"+in.Name())
+	})
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "WhatsApp")
+	launchWait(t, sys, "Camera")
+	want := []string{"launch:WhatsApp", "fg:WhatsApp", "cached:WhatsApp", "launch:Camera", "fg:Camera"}
+	for i, w := range want {
+		if i >= len(events) || events[i] != w {
+			t.Fatalf("hook sequence %v, want prefix %v", events, want)
+		}
+	}
+}
+
+// ResetMeasurement must zero every statistics domain without disturbing
+// system state.
+func TestResetMeasurement(t *testing.T) {
+	sys := newTestSystem(t)
+	sys.AM.InstallAll(app.Catalog())
+	launchWait(t, sys, "Facebook")
+	resident := sys.AM.App("Facebook").ResidentPages()
+	sys.ResetMeasurement()
+	if sys.MM.Stats().Total.Reclaimed != 0 || sys.Disk.Stats().TotalRequests() != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if sys.Sched.Stats().TotalBusy() != 0 {
+		t.Fatal("CPU stats survived reset")
+	}
+	if got := sys.AM.App("Facebook").ResidentPages(); got != resident {
+		t.Fatal("reset disturbed memory state")
+	}
+}
+
+// A full scenario must leave the page-accounting invariant intact.
+func TestEndToEndConservation(t *testing.T) {
+	sys := NewSystem(11, device.P20)
+	sys.AM.InstallAll(app.Catalog())
+	for _, n := range []string{"Facebook", "TikTok", "WeChat", "Chrome", "Uber", "AliPay", "WhatsApp"} {
+		launchWait(t, sys, n)
+	}
+	r := NewRenderer(sys)
+	r.Start(sys.AM.App("WhatsApp"))
+	sys.Run(30 * sim.Second)
+	r.Stop()
+	// free + resident + transient + zram footprint + reserved == total.
+	total := sys.MM.FreePages() + sys.MM.ResidentPages() + sys.MM.TransientPages() +
+		sys.Zram.FootprintPages() + sys.Dev.ReservedPages
+	if total != sys.Dev.RAMPages {
+		t.Fatalf("page conservation violated: %d != %d", total, sys.Dev.RAMPages)
+	}
+}

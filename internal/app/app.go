@@ -1,0 +1,452 @@
+// Package app is the application model: a catalog of the 20 popular
+// applications used throughout the paper's evaluation (Table 3), the
+// 40-app set of the §3.2 refault-source study, and the synthetic
+// memtester/cputester tools of §2.2.3.
+//
+// Specs are pure data. The android framework package instantiates them
+// into processes, tasks, page regions and background-activity timers.
+//
+// Memory figures are simulated pages (1 page = 64 KiB): a 9 000-page app
+// occupies ≈ 560 MB, in line with the resident+swapped footprint of large
+// social/media apps on 2019-era phones.
+package app
+
+import "github.com/eurosys23/ice/internal/sim"
+
+// Category mirrors Table 3's application categories.
+type Category int
+
+// Application categories.
+const (
+	Social Category = iota
+	MultiMedia
+	Game
+	ECommerce
+	Utility
+	Synthetic
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Social:
+		return "Social"
+	case MultiMedia:
+		return "Multi-Media"
+	case Game:
+		return "Game"
+	case ECommerce:
+		return "E-Commerce"
+	case Utility:
+		return "Utility"
+	case Synthetic:
+		return "Synthetic"
+	default:
+		return "Unknown"
+	}
+}
+
+// RenderProfile describes the per-frame cost of an application when it
+// drives the foreground in one of the four scenarios.
+type RenderProfile struct {
+	// ContentFPS is the app's natural content rate: a video call tracks
+	// the remote camera, a game its simulation tick. The renderer paces
+	// frame production at this rate; the display still refreshes at 60 Hz.
+	// This is why unloaded baselines sit in the 40s–50s (Figure 1), not
+	// at 60.
+	ContentFPS float64
+	// BaseCPU is the mean CPU per frame (below the 16.6 ms deadline when
+	// the system is healthy).
+	BaseCPU sim.Time
+	// CPUJitter is the relative jitter applied per frame.
+	CPUJitter float64
+	// TouchPages is how many foreground working-set pages each frame
+	// touches (refault exposure when the FG's pages get reclaimed).
+	TouchPages int
+	// AllocPages is the transient allocation per frame (surfaces,
+	// scratch buffers); the allocation path is where direct reclaim bites.
+	AllocPages int
+	// GrowPages is the foreground app's net footprint growth per second
+	// while in use (caches, decoded media, fetched content). Growth is the
+	// dominant driver of steady-state reclaim: the paper measures ~2.6×
+	// more reclaimed than refaulted pages.
+	GrowPages int
+	// StreamPages is the file-cache ingestion rate (pages/second) while
+	// foreground: video segments, timeline images, map tiles — read once,
+	// aged out by reclaim, never refaulted. Streaming is why the paper's
+	// reclaim volume is ~2.6× its refault volume.
+	StreamPages int
+	// BurstPages/BurstPeriod model episodic allocation spikes, e.g. PUBG's
+	// "100MB+ available memory required to start a new round battle".
+	BurstPages  int
+	BurstPeriod sim.Time
+}
+
+// Spec is the static description of one application.
+type Spec struct {
+	Name     string
+	Category Category
+
+	// Memory footprint in simulated pages, by class.
+	FilePages   int
+	NativePages int
+	JavaPages   int
+
+	// Cold launch: CPU to initialise and pages streamed from flash.
+	LaunchCPU       sim.Time
+	LaunchReadPages int
+
+	// Hot resume: CPU plus the fraction of the footprint re-touched.
+	ResumeCPU       sim.Time
+	ResumeTouchFrac float64
+
+	// Background main/worker activity: periodic wakeups that touch memory.
+	// This is the behaviour §3.2 documents ("BG applications are not as
+	// quiet as expected").
+	BGWakePeriod sim.Time
+	BGWakeTouch  int
+	BGWakeCPU    sim.Time
+	// BGWorkers is how many parallel worker streams run the wake activity
+	// (0 means 1). cputester uses several to reach its 20 % target.
+	BGWorkers int
+	// BGSweep marks apps whose background wakeups sweep cold memory
+	// (timeline refresh, mailbox sync) and occasionally run storm syncs.
+	// Quiet apps (false) only touch their small hot set and therefore
+	// rarely refault — ICE leaves them unfrozen ("the inactive
+	// applications and the active applications that do not cause refault
+	// are not frozen", §6.2.1).
+	BGSweep bool
+
+	// Runtime GC: periodic collection touching the Java heap and churning
+	// allocations (source one of BG refaults, §3.2).
+	GCPeriod    sim.Time
+	GCTouchFrac float64
+	GCChurn     int
+
+	// Optional separate service process (push, location tracking, ...).
+	HasService    bool
+	ServicePeriod sim.Time
+	ServiceTouch  int
+	ServiceCPU    sim.Time
+
+	// Perceptible marks apps that keep adj 200 in the background (music
+	// playback, navigation) and therefore sit on ICE's whitelist.
+	Perceptible bool
+
+	Render RenderProfile
+}
+
+// TotalPages returns the steady-state footprint.
+func (s Spec) TotalPages() int { return s.FilePages + s.NativePages + s.JavaPages }
+
+// Catalog returns the 20 applications of Table 3 in a stable order.
+func Catalog() []Spec {
+	return []Spec{
+		// --- Social ---
+		{
+			Name: "Facebook", BGSweep: true, Category: Social,
+			FilePages: 4200, NativePages: 2600, JavaPages: 3800,
+			LaunchCPU: 900 * sim.Millisecond, LaunchReadPages: 2600,
+			ResumeCPU: 130 * sim.Millisecond, ResumeTouchFrac: 0.12,
+			BGWakePeriod: 1800 * sim.Millisecond, BGWakeTouch: 109, BGWakeCPU: 300 * sim.Millisecond,
+			GCPeriod: 14 * sim.Second, GCTouchFrac: 0.05, GCChurn: 60,
+			HasService: true, ServicePeriod: 5 * sim.Second, ServiceTouch: 40, ServiceCPU: 25 * sim.Millisecond,
+			Render: RenderProfile{ContentFPS: 56, BaseCPU: sim.FromMillis(9.0), CPUJitter: 0.30, TouchPages: 36, AllocPages: 8, GrowPages: 37, StreamPages: 42},
+		},
+		{
+			Name: "Skype", BGSweep: true, Category: Social,
+			FilePages: 3000, NativePages: 2100, JavaPages: 2400,
+			LaunchCPU: 700 * sim.Millisecond, LaunchReadPages: 1900,
+			ResumeCPU: 110 * sim.Millisecond, ResumeTouchFrac: 0.10,
+			BGWakePeriod: 2600 * sim.Millisecond, BGWakeTouch: 58, BGWakeCPU: 150 * sim.Millisecond,
+			GCPeriod: 18 * sim.Second, GCTouchFrac: 0.04, GCChurn: 35,
+			HasService: true, ServicePeriod: 4 * sim.Second, ServiceTouch: 30, ServiceCPU: 20 * sim.Millisecond,
+			Render: RenderProfile{ContentFPS: 46, BaseCPU: sim.FromMillis(11.5), CPUJitter: 0.25, TouchPages: 30, AllocPages: 9, GrowPages: 30, StreamPages: 36},
+		},
+		{
+			Name: "Twitter", BGSweep: true, Category: Social,
+			FilePages: 3400, NativePages: 2200, JavaPages: 3000,
+			LaunchCPU: 750 * sim.Millisecond, LaunchReadPages: 2100,
+			ResumeCPU: 110 * sim.Millisecond, ResumeTouchFrac: 0.11,
+			BGWakePeriod: 2200 * sim.Millisecond, BGWakeTouch: 84, BGWakeCPU: 225 * sim.Millisecond,
+			GCPeriod: 15 * sim.Second, GCTouchFrac: 0.05, GCChurn: 45,
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(9.0), CPUJitter: 0.30, TouchPages: 34, AllocPages: 7, GrowPages: 33, StreamPages: 42},
+		},
+		{
+			Name: "WeChat", BGSweep: true, Category: Social,
+			FilePages: 4000, NativePages: 2700, JavaPages: 3600,
+			LaunchCPU: 850 * sim.Millisecond, LaunchReadPages: 2400,
+			ResumeCPU: 120 * sim.Millisecond, ResumeTouchFrac: 0.12,
+			BGWakePeriod: 2000 * sim.Millisecond, BGWakeTouch: 92, BGWakeCPU: 250 * sim.Millisecond,
+			GCPeriod: 13 * sim.Second, GCTouchFrac: 0.05, GCChurn: 55,
+			HasService: true, ServicePeriod: 3500 * sim.Millisecond, ServiceTouch: 35, ServiceCPU: 25 * sim.Millisecond,
+			Render: RenderProfile{ContentFPS: 50, BaseCPU: sim.FromMillis(9.5), CPUJitter: 0.28, TouchPages: 32, AllocPages: 7, GrowPages: 30, StreamPages: 24},
+		},
+		{
+			Name: "WhatsApp", BGSweep: true, Category: Social,
+			FilePages: 2900, NativePages: 2000, JavaPages: 2300,
+			LaunchCPU: 650 * sim.Millisecond, LaunchReadPages: 1800,
+			ResumeCPU: 100 * sim.Millisecond, ResumeTouchFrac: 0.10,
+			BGWakePeriod: 2400 * sim.Millisecond, BGWakeTouch: 67, BGWakeCPU: 175 * sim.Millisecond,
+			GCPeriod: 16 * sim.Second, GCTouchFrac: 0.04, GCChurn: 40,
+			HasService: true, ServicePeriod: 4500 * sim.Millisecond, ServiceTouch: 30, ServiceCPU: 20 * sim.Millisecond,
+			// Scenario A: video call — decode + camera pipeline per frame.
+			Render: RenderProfile{ContentFPS: 46, BaseCPU: sim.FromMillis(11.0), CPUJitter: 0.22, TouchPages: 40, AllocPages: 10, GrowPages: 30, StreamPages: 36},
+		},
+
+		// --- Multi-Media ---
+		{
+			Name: "Youtube", BGSweep: true, Category: MultiMedia,
+			FilePages: 3600, NativePages: 3200, JavaPages: 2800,
+			LaunchCPU: 800 * sim.Millisecond, LaunchReadPages: 2200,
+			ResumeCPU: 120 * sim.Millisecond, ResumeTouchFrac: 0.11,
+			BGWakePeriod: 3000 * sim.Millisecond, BGWakeTouch: 58, BGWakeCPU: 150 * sim.Millisecond,
+			GCPeriod: 17 * sim.Second, GCTouchFrac: 0.04, GCChurn: 40,
+			Perceptible: true, // BG audio playback keeps it perceptible
+			Render:      RenderProfile{ContentFPS: 48, BaseCPU: sim.FromMillis(10.0), CPUJitter: 0.25, TouchPages: 38, AllocPages: 9, GrowPages: 33, StreamPages: 27},
+		},
+		{
+			Name: "Netflix", Category: MultiMedia,
+			FilePages: 3400, NativePages: 3400, JavaPages: 2400,
+			LaunchCPU: 850 * sim.Millisecond, LaunchReadPages: 2300,
+			ResumeCPU: 130 * sim.Millisecond, ResumeTouchFrac: 0.11,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 19 * sim.Second, GCTouchFrac: 0.04, GCChurn: 35,
+			Render: RenderProfile{ContentFPS: 48, BaseCPU: sim.FromMillis(10.5), CPUJitter: 0.22, TouchPages: 40, AllocPages: 10, GrowPages: 33, StreamPages: 27},
+		},
+		{
+			Name: "TikTok", BGSweep: true, Category: MultiMedia,
+			FilePages: 4400, NativePages: 3600, JavaPages: 3400,
+			LaunchCPU: 900 * sim.Millisecond, LaunchReadPages: 2700,
+			ResumeCPU: 140 * sim.Millisecond, ResumeTouchFrac: 0.13,
+			BGWakePeriod: 1900 * sim.Millisecond, BGWakeTouch: 100, BGWakeCPU: 275 * sim.Millisecond,
+			GCPeriod: 12 * sim.Second, GCTouchFrac: 0.06, GCChurn: 60,
+			HasService: true, ServicePeriod: 4 * sim.Second, ServiceTouch: 40, ServiceCPU: 25 * sim.Millisecond,
+			// Scenario B: short-form video switching — decode + prefetch of
+			// the next clip.
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(11.5), CPUJitter: 0.30, TouchPages: 44, AllocPages: 12, GrowPages: 52, StreamPages: 57},
+		},
+
+		// --- Game ---
+		{
+			Name: "AngryBird", Category: Game,
+			FilePages: 4800, NativePages: 4400, JavaPages: 1800,
+			LaunchCPU: 1200 * sim.Millisecond, LaunchReadPages: 3400,
+			ResumeCPU: 160 * sim.Millisecond, ResumeTouchFrac: 0.15,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 25 * sim.Second, GCTouchFrac: 0.05, GCChurn: 25,
+			Render: RenderProfile{ContentFPS: 50, BaseCPU: sim.FromMillis(10.0), CPUJitter: 0.25, TouchPages: 40, AllocPages: 10, GrowPages: 30, StreamPages: 24},
+		},
+		{
+			Name: "ArenaOfValor", Category: Game,
+			FilePages: 5600, NativePages: 5400, JavaPages: 2000,
+			LaunchCPU: 1500 * sim.Millisecond, LaunchReadPages: 4200,
+			ResumeCPU: 180 * sim.Millisecond, ResumeTouchFrac: 0.16,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 22 * sim.Second, GCTouchFrac: 0.05, GCChurn: 30,
+			Render: RenderProfile{ContentFPS: 46, BaseCPU: sim.FromMillis(12.0), CPUJitter: 0.28, TouchPages: 48, AllocPages: 13, GrowPages: 30, StreamPages: 36},
+		},
+		{
+			Name: "PUBGMobile", BGSweep: true, Category: Game,
+			FilePages: 6200, NativePages: 6400, JavaPages: 2200,
+			LaunchCPU: 1800 * sim.Millisecond, LaunchReadPages: 5000,
+			ResumeCPU: 200 * sim.Millisecond, ResumeTouchFrac: 0.18,
+			BGWakePeriod: 4 * sim.Second, BGWakeTouch: 50, BGWakeCPU: 125 * sim.Millisecond,
+			GCPeriod: 20 * sim.Second, GCTouchFrac: 0.05, GCChurn: 35,
+			// Scenario D: mobile game — heavy frames plus round-start
+			// allocation bursts ("100MB+ available memory is required to
+			// start a new round battle").
+			Render: RenderProfile{ContentFPS: 42, BaseCPU: sim.FromMillis(13.0), CPUJitter: 0.32, TouchPages: 56, AllocPages: 16, GrowPages: 45, BurstPages: 1600, BurstPeriod: 40 * sim.Second, StreamPages: 24},
+		},
+
+		// --- E-Commerce ---
+		{
+			Name: "Amazon", Category: ECommerce,
+			FilePages: 3200, NativePages: 2000, JavaPages: 2800,
+			LaunchCPU: 700 * sim.Millisecond, LaunchReadPages: 2000,
+			ResumeCPU: 110 * sim.Millisecond, ResumeTouchFrac: 0.10,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 18 * sim.Second, GCTouchFrac: 0.04, GCChurn: 35,
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(8.5), CPUJitter: 0.25, TouchPages: 30, AllocPages: 7, GrowPages: 33, StreamPages: 42},
+		},
+		{
+			Name: "PayPal", Category: ECommerce,
+			FilePages: 2400, NativePages: 1600, JavaPages: 2000,
+			LaunchCPU: 600 * sim.Millisecond, LaunchReadPages: 1500,
+			ResumeCPU: 90 * sim.Millisecond, ResumeTouchFrac: 0.09,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 24 * sim.Second, GCTouchFrac: 0.03, GCChurn: 20,
+			Render: RenderProfile{ContentFPS: 54, BaseCPU: sim.FromMillis(8.0), CPUJitter: 0.22, TouchPages: 26, AllocPages: 6, GrowPages: 22, StreamPages: 15},
+		},
+		{
+			Name: "AliPay", BGSweep: true, Category: ECommerce,
+			FilePages: 3600, NativePages: 2300, JavaPages: 3200,
+			LaunchCPU: 800 * sim.Millisecond, LaunchReadPages: 2200,
+			ResumeCPU: 120 * sim.Millisecond, ResumeTouchFrac: 0.11,
+			BGWakePeriod: 2800 * sim.Millisecond, BGWakeTouch: 75, BGWakeCPU: 200 * sim.Millisecond,
+			GCPeriod: 16 * sim.Second, GCTouchFrac: 0.05, GCChurn: 45,
+			HasService: true, ServicePeriod: 5 * sim.Second, ServiceTouch: 30, ServiceCPU: 20 * sim.Millisecond,
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(8.5), CPUJitter: 0.25, TouchPages: 30, AllocPages: 7, GrowPages: 33, StreamPages: 42},
+		},
+		{
+			Name: "eBay", Category: ECommerce,
+			FilePages: 2800, NativePages: 1800, JavaPages: 2400,
+			LaunchCPU: 650 * sim.Millisecond, LaunchReadPages: 1700,
+			ResumeCPU: 100 * sim.Millisecond, ResumeTouchFrac: 0.10,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 20 * sim.Second, GCTouchFrac: 0.04, GCChurn: 25,
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(8.5), CPUJitter: 0.24, TouchPages: 28, AllocPages: 6, GrowPages: 33, StreamPages: 42},
+		},
+		{
+			Name: "Yelp", Category: ECommerce,
+			FilePages: 2600, NativePages: 1700, JavaPages: 2200,
+			LaunchCPU: 600 * sim.Millisecond, LaunchReadPages: 1600,
+			ResumeCPU: 90 * sim.Millisecond, ResumeTouchFrac: 0.09,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 22 * sim.Second, GCTouchFrac: 0.04, GCChurn: 22,
+			Render: RenderProfile{ContentFPS: 54, BaseCPU: sim.FromMillis(8.0), CPUJitter: 0.22, TouchPages: 26, AllocPages: 6, GrowPages: 22, StreamPages: 15},
+		},
+
+		// --- Utility ---
+		{
+			Name: "Chrome", BGSweep: true, Category: Utility,
+			FilePages: 3800, NativePages: 3600, JavaPages: 1600,
+			LaunchCPU: 750 * sim.Millisecond, LaunchReadPages: 2300,
+			ResumeCPU: 110 * sim.Millisecond, ResumeTouchFrac: 0.12,
+			BGWakePeriod: 2400 * sim.Millisecond, BGWakeTouch: 75, BGWakeCPU: 200 * sim.Millisecond,
+			GCPeriod: 15 * sim.Second, GCTouchFrac: 0.05, GCChurn: 40,
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(9.0), CPUJitter: 0.28, TouchPages: 32, AllocPages: 8, GrowPages: 33, StreamPages: 42},
+		},
+		{
+			Name: "Camera", Category: Utility,
+			FilePages: 2200, NativePages: 2800, JavaPages: 1200,
+			LaunchCPU: 500 * sim.Millisecond, LaunchReadPages: 1300,
+			ResumeCPU: 90 * sim.Millisecond, ResumeTouchFrac: 0.14,
+			// Fully inert in the background: no wake stream.
+			GCPeriod: 30 * sim.Second, GCTouchFrac: 0.03, GCChurn: 15,
+			Render: RenderProfile{ContentFPS: 48, BaseCPU: sim.FromMillis(10.0), CPUJitter: 0.20, TouchPages: 36, AllocPages: 12, GrowPages: 33, StreamPages: 27},
+		},
+		{
+			Name: "Uber", BGSweep: true, Category: Utility,
+			FilePages: 2800, NativePages: 1900, JavaPages: 2300,
+			LaunchCPU: 650 * sim.Millisecond, LaunchReadPages: 1700,
+			ResumeCPU: 100 * sim.Millisecond, ResumeTouchFrac: 0.10,
+			// Location tracking makes ride apps unusually lively in the BG.
+			BGWakePeriod: 1600 * sim.Millisecond, BGWakeTouch: 75, BGWakeCPU: 212 * sim.Millisecond,
+			GCPeriod: 16 * sim.Second, GCTouchFrac: 0.04, GCChurn: 35,
+			HasService: true, ServicePeriod: 2500 * sim.Millisecond, ServiceTouch: 45, ServiceCPU: 35 * sim.Millisecond,
+			Render: RenderProfile{ContentFPS: 52, BaseCPU: sim.FromMillis(8.5), CPUJitter: 0.25, TouchPages: 30, AllocPages: 7, GrowPages: 33, StreamPages: 42},
+		},
+		{
+			Name: "GoogleMap", BGSweep: true, Category: Utility,
+			FilePages: 3400, NativePages: 2800, JavaPages: 2400,
+			LaunchCPU: 800 * sim.Millisecond, LaunchReadPages: 2100,
+			ResumeCPU: 120 * sim.Millisecond, ResumeTouchFrac: 0.12,
+			BGWakePeriod: 1500 * sim.Millisecond, BGWakeTouch: 84, BGWakeCPU: 237 * sim.Millisecond,
+			GCPeriod: 14 * sim.Second, GCTouchFrac: 0.05, GCChurn: 45,
+			HasService: true, ServicePeriod: 2200 * sim.Millisecond, ServiceTouch: 50, ServiceCPU: 40 * sim.Millisecond,
+			Perceptible: true, // active navigation is user-perceptible
+			Render:      RenderProfile{ContentFPS: 50, BaseCPU: sim.FromMillis(9.5), CPUJitter: 0.26, TouchPages: 38, AllocPages: 10, GrowPages: 30, StreamPages: 24},
+		},
+	}
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ScenarioApps maps the paper's four scenarios to their driver apps.
+var ScenarioApps = map[string]string{
+	"S-A": "WhatsApp",   // video call
+	"S-B": "TikTok",     // short-form video switching
+	"S-C": "Facebook",   // screen scrolling (timeline)
+	"S-D": "PUBGMobile", // mobile game
+}
+
+// Catalog40 returns the 40-app set used by the §3.2 per-process-reclaim
+// study: the 20 evaluation apps plus 20 further popular apps modelled as
+// category variants.
+func Catalog40() []Spec {
+	base := Catalog()
+	extras := []struct {
+		name string
+		like string
+		mul  float64
+	}{
+		{"Instagram", "Facebook", 0.9},
+		{"Snapchat", "WeChat", 0.85},
+		{"Telegram", "WhatsApp", 0.9},
+		{"Reddit", "Twitter", 0.95},
+		{"LinkedIn", "Twitter", 0.85},
+		{"Spotify", "Youtube", 0.8},
+		{"Twitch", "Youtube", 1.05},
+		{"Hulu", "Netflix", 0.9},
+		{"CandyCrush", "AngryBird", 0.8},
+		{"ClashOfClans", "ArenaOfValor", 0.9},
+		{"Fortnite", "PUBGMobile", 1.05},
+		{"Minecraft", "AngryBird", 1.1},
+		{"Walmart", "Amazon", 0.9},
+		{"Wish", "eBay", 0.85},
+		{"Shein", "Amazon", 0.8},
+		{"Firefox", "Chrome", 0.95},
+		{"Gmail", "Chrome", 0.7},
+		{"Dropbox", "PayPal", 0.9},
+		{"Zoom", "Skype", 1.05},
+		{"Waze", "GoogleMap", 0.9},
+	}
+	out := make([]Spec, 0, len(base)+len(extras))
+	out = append(out, base...)
+	for _, e := range extras {
+		var src Spec
+		for _, s := range base {
+			if s.Name == e.like {
+				src = s
+				break
+			}
+		}
+		v := src
+		v.Name = e.name
+		v.Perceptible = false
+		v.FilePages = int(float64(src.FilePages) * e.mul)
+		v.NativePages = int(float64(src.NativePages) * e.mul)
+		v.JavaPages = int(float64(src.JavaPages) * e.mul)
+		v.LaunchReadPages = int(float64(src.LaunchReadPages) * e.mul)
+		out = append(out, v)
+	}
+	return out
+}
+
+// Memtester models the open-source memtester tool: it pins a large
+// anonymous region sized to mimic the aggregate footprint of the BG-apps
+// case, but touches it only rarely, so it induces reclaim without inducing
+// many refaults — the key contrast of §2.2.3(3).
+func Memtester(pages int) Spec {
+	return Spec{
+		Name: "memtester", Category: Synthetic,
+		FilePages: 64, NativePages: pages, JavaPages: 0,
+		LaunchCPU: 200 * sim.Millisecond, LaunchReadPages: 32,
+		ResumeCPU: 20 * sim.Millisecond, ResumeTouchFrac: 0.01,
+		BGWakePeriod: 6 * sim.Second, BGWakeTouch: 24, BGWakeCPU: 20 * sim.Millisecond,
+	}
+}
+
+// Cputester models the self-developed CPU-load tool: ~20 % aggregate CPU
+// utilisation with a negligible memory footprint.
+func Cputester() Spec {
+	return Spec{
+		Name: "cputester", Category: Synthetic,
+		FilePages: 32, NativePages: 96, JavaPages: 0,
+		LaunchCPU: 100 * sim.Millisecond, LaunchReadPages: 16,
+		ResumeCPU: 10 * sim.Millisecond, ResumeTouchFrac: 0.05,
+		// Eight worker streams, each burning 200 ms per second: 1.6 of 8
+		// cores, i.e. the paper's 20 % utilisation target.
+		BGWakePeriod: sim.Second, BGWakeTouch: 4, BGWakeCPU: 200 * sim.Millisecond,
+		BGWorkers: 8,
+	}
+}

@@ -1,0 +1,176 @@
+package app
+
+import (
+	"testing"
+
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+func TestCatalogHas20Apps(t *testing.T) {
+	c := Catalog()
+	if len(c) != 20 {
+		t.Fatalf("catalog has %d apps, want 20 (Table 3)", len(c))
+	}
+	seen := map[string]bool{}
+	for _, s := range c {
+		if seen[s.Name] {
+			t.Fatalf("duplicate app %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestCatalogCategoryCounts(t *testing.T) {
+	// Table 3: Social 5, Multi-Media 3, Game 3, E-Commerce 5, Utility 4.
+	want := map[Category]int{Social: 5, MultiMedia: 3, Game: 3, ECommerce: 5, Utility: 4}
+	got := map[Category]int{}
+	for _, s := range Catalog() {
+		got[s.Category]++
+	}
+	for cat, n := range want {
+		if got[cat] != n {
+			t.Errorf("%v: %d apps, want %d", cat, got[cat], n)
+		}
+	}
+}
+
+func TestSpecsSane(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.TotalPages() != s.FilePages+s.NativePages+s.JavaPages {
+			t.Errorf("%s: TotalPages inconsistent", s.Name)
+		}
+		if s.FilePages <= 0 || s.NativePages <= 0 || s.JavaPages <= 0 {
+			t.Errorf("%s: non-positive footprint", s.Name)
+		}
+		if s.LaunchCPU <= 0 || s.LaunchReadPages <= 0 {
+			t.Errorf("%s: missing launch model", s.Name)
+		}
+		if s.ResumeTouchFrac <= 0 || s.ResumeTouchFrac > 1 {
+			t.Errorf("%s: resume fraction %v", s.Name, s.ResumeTouchFrac)
+		}
+		if s.Render.ContentFPS < 30 || s.Render.ContentFPS > 60 {
+			t.Errorf("%s: content rate %v", s.Name, s.Render.ContentFPS)
+		}
+		if s.Render.BaseCPU <= 0 || s.Render.BaseCPU > sim.FromMillis(16.6) {
+			t.Errorf("%s: per-frame CPU %v must be under the vsync budget", s.Name, s.Render.BaseCPU)
+		}
+		if s.BGSweep && s.BGWakePeriod <= 0 {
+			t.Errorf("%s: sweeper without a wake stream", s.Name)
+		}
+	}
+}
+
+func TestScenarioAppsExist(t *testing.T) {
+	for id, name := range ScenarioApps {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("scenario %s driver %s not in catalog", id, name)
+		}
+	}
+	for _, id := range []string{"S-A", "S-B", "S-C", "S-D"} {
+		if _, ok := ScenarioApps[id]; !ok {
+			t.Errorf("scenario %s missing", id)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("WhatsApp")
+	if !ok || s.Name != "WhatsApp" {
+		t.Fatal("ByName failed for WhatsApp")
+	}
+	if _, ok := ByName("NoSuchApp"); ok {
+		t.Fatal("ByName resolved a non-existent app")
+	}
+}
+
+func TestCatalog40(t *testing.T) {
+	c := Catalog40()
+	if len(c) != 40 {
+		t.Fatalf("Catalog40 has %d apps", len(c))
+	}
+	seen := map[string]bool{}
+	for _, s := range c {
+		if seen[s.Name] {
+			t.Fatalf("duplicate app %s in Catalog40", s.Name)
+		}
+		seen[s.Name] = true
+		if s.TotalPages() <= 0 {
+			t.Fatalf("%s has no footprint", s.Name)
+		}
+	}
+	// The extra 20 are variants with scaled footprints.
+	if !seen["Instagram"] || !seen["Zoom"] {
+		t.Fatal("expected variant apps missing")
+	}
+}
+
+func TestSweeperSplit(t *testing.T) {
+	sweepers := 0
+	for _, s := range Catalog() {
+		if s.BGSweep {
+			sweepers++
+		}
+	}
+	// 12 sweepers / 8 quiet gives the paper's "~4 frozen of 8 cached".
+	if sweepers != 12 {
+		t.Fatalf("%d sweepers, want 12", sweepers)
+	}
+}
+
+func TestPerceptibleApps(t *testing.T) {
+	var names []string
+	for _, s := range Catalog() {
+		if s.Perceptible {
+			names = append(names, s.Name)
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("perceptible apps %v, want Youtube and GoogleMap", names)
+	}
+}
+
+func TestMemtesterSpec(t *testing.T) {
+	m := Memtester(5000)
+	if m.NativePages != 5000 {
+		t.Fatal("memtester size not honoured")
+	}
+	if m.BGSweep {
+		t.Fatal("memtester must not sweep (its refaults are rare)")
+	}
+	if m.Category != Synthetic {
+		t.Fatal("memtester category")
+	}
+}
+
+func TestCputesterSpec(t *testing.T) {
+	c := Cputester()
+	if c.BGWorkers != 8 {
+		t.Fatalf("cputester workers %d", c.BGWorkers)
+	}
+	// 8 workers × 200 ms / 1 s = 1.6 cores ≈ 20 % of 8.
+	load := float64(c.BGWorkers) * c.BGWakeCPU.Seconds() / c.BGWakePeriod.Seconds()
+	if load < 1.4 || load > 1.8 {
+		t.Fatalf("cputester load %.2f cores, want ≈1.6", load)
+	}
+	if c.TotalPages() > 200 {
+		t.Fatal("cputester should have a tiny footprint")
+	}
+}
+
+func TestFootprintsFillDevices(t *testing.T) {
+	// The paper cached 6 apps on the 4 GB Pixel3 and 8 on the 6 GB P20 "to
+	// fully fill the memory". Check the catalog's average footprint is in
+	// the range that makes that true (usable RAM modelled in the device
+	// package: ≈48 K pages Pixel3, ≈64 K pages P20).
+	var total int
+	for _, s := range Catalog() {
+		total += s.TotalPages()
+	}
+	avg := total / len(Catalog())
+	if 7*avg < 49152 {
+		t.Fatalf("6 BG + FG (avg %d pages) would not fill a Pixel3", avg)
+	}
+	if 9*avg < 65536 {
+		t.Fatalf("8 BG + FG (avg %d pages) would not fill a P20", avg)
+	}
+}

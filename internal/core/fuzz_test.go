@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// FuzzMappingTable hammers the table with arbitrary add/remove/update
+// tapes, checking the size accounting and index consistency throughout.
+func FuzzMappingTable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		mt := NewMappingTable(2048) // small bound: exercise rejection too
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			uid := 10000 + int(arg%5)
+			pid := int(arg%23) + 1
+			switch op % 4 {
+			case 0:
+				_ = mt.AddProcess(uid, pid, int(op))
+			case 1:
+				mt.RemoveProcess(pid)
+			case 2:
+				mt.SetAdj(uid, int(op))
+			case 3:
+				mt.SetFrozen(uid, op&1 == 0)
+			}
+			if mt.SizeBytes() < 0 || mt.SizeBytes() > 2048 {
+				t.Fatalf("size %d outside bound at step %d", mt.SizeBytes(), i)
+			}
+			// Every indexed PID must resolve back to an entry holding it.
+			for _, uid := range mt.UIDs() {
+				e, ok := mt.LookupUID(uid)
+				if !ok {
+					t.Fatal("listed UID does not resolve")
+				}
+				for _, p := range e.PIDs {
+					if got, ok := mt.LookupPID(p); !ok || got != e {
+						t.Fatal("PID index inconsistent")
+					}
+				}
+			}
+		}
+	})
+}

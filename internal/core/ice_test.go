@@ -1,0 +1,327 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/eurosys23/ice/internal/android"
+	"github.com/eurosys23/ice/internal/app"
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// testRig builds a small system with ICE attached and two cached apps: a
+// sweeper (Facebook) that will refault, and an inert one (Camera).
+func testRig(t *testing.T, cfg Config) (*android.System, *Framework) {
+	t.Helper()
+	sys := android.NewSystem(1234, device.P20)
+	fw := Attach(sys, cfg)
+	sys.AM.InstallAll(app.Catalog())
+	return sys, fw
+}
+
+func launch(t *testing.T, sys *android.System, name string) {
+	t.Helper()
+	sys.AM.RequestForeground(name, nil)
+	if !sys.RunUntil(sys.AM.LaunchIdle, 60*sim.Second, 20*sim.Millisecond) {
+		t.Fatalf("launch of %s stuck", name)
+	}
+}
+
+func TestMappingTableTracksLifecycle(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Facebook")
+	fb := sys.AM.App("Facebook")
+	e, ok := fw.Table().LookupUID(fb.UID)
+	if !ok {
+		t.Fatal("launched app not in mapping table")
+	}
+	// Facebook has a service process: two PIDs tracked.
+	if len(e.PIDs) != 2 {
+		t.Fatalf("tracked PIDs %v, want 2", e.PIDs)
+	}
+	if e.Adj > 200 {
+		t.Fatalf("foreground app adj %d", e.Adj)
+	}
+	// Backgrounding raises the adj in the table.
+	launch(t, sys, "Camera")
+	e, _ = fw.Table().LookupUID(fb.UID)
+	if e.Adj < 900 {
+		t.Fatalf("cached app adj %d in table", e.Adj)
+	}
+}
+
+func TestRPFFreezesRefaultingBGApp(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Facebook")
+	launch(t, sys, "Camera") // Facebook to BG
+	fb := sys.AM.App("Facebook")
+
+	// Evict Facebook entirely; its next background wake refaults.
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(10 * sim.Second)
+	if !fb.Frozen() {
+		t.Fatal("refaulting background app was not frozen")
+	}
+	st := fw.Stats()
+	if st.FreezeActions == 0 || st.RefaultEvents == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Application-grain: every process of the UID is frozen.
+	for _, p := range fb.Processes() {
+		if !p.Frozen() {
+			t.Fatalf("process %s of frozen app not frozen", p.Name)
+		}
+	}
+}
+
+func TestRPFSiftsForegroundRefaults(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Facebook")
+	fb := sys.AM.App("Facebook")
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	// Foreground usage refaults its own pages: must never freeze itself.
+	fb.StartUsage()
+	sys.Run(5 * sim.Second)
+	fb.StopUsage()
+	if fb.Frozen() {
+		t.Fatal("foreground app frozen by its own refaults")
+	}
+	if fw.Stats().SiftedFG == 0 {
+		t.Fatal("no FG refaults sifted")
+	}
+}
+
+func TestWhitelistProtectsPerceptible(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Youtube") // Perceptible spec
+	launch(t, sys, "Camera")  // Youtube to BG (adj 200)
+	yt := sys.AM.App("Youtube")
+	for _, p := range yt.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(12 * sim.Second)
+	if yt.Frozen() {
+		t.Fatal("perceptible (whitelisted) app was frozen")
+	}
+	if fw.Stats().WhitelistHits == 0 {
+		t.Fatal("whitelist never consulted")
+	}
+}
+
+func TestVendorWhitelist(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Facebook")
+	launch(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	fw.WhitelistUID(fb.UID)
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(10 * sim.Second)
+	if fb.Frozen() {
+		t.Fatal("vendor-whitelisted app was frozen")
+	}
+}
+
+func TestDisableWhitelistAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableWhitelist = true
+	sys, _ := testRig(t, cfg)
+	launch(t, sys, "Youtube")
+	launch(t, sys, "Camera")
+	yt := sys.AM.App("Youtube")
+	for _, p := range yt.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(12 * sim.Second)
+	if !yt.Frozen() {
+		t.Fatal("whitelist-disabled ICE left a refaulting perceptible app running")
+	}
+}
+
+func TestMDTHeartbeatThawsPeriodically(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxEf = 4 * sim.Second // keep the test fast
+	sys, fw := testRig(t, cfg)
+	launch(t, sys, "Facebook")
+	launch(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(8 * sim.Second)
+	if !fb.Frozen() {
+		t.Skip("app did not refault in the warmup window")
+	}
+	sys.Run(30 * sim.Second)
+	st := fw.Stats()
+	if st.ThawActions == 0 {
+		t.Fatal("MDT never thawed the frozen set")
+	}
+	if st.Epochs == 0 {
+		t.Fatal("no heartbeat epochs completed")
+	}
+}
+
+func TestMDTEquationEf(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	// With abundant memory, ceil(Hwm/Sam)=1 → R = 8·2 = 16 → Ef = 16 s.
+	ef := fw.computeEf()
+	if ef != 16*sim.Second {
+		t.Fatalf("Ef %v with abundant memory, want 16s", ef)
+	}
+	// FixedR pins the intensity regardless of memory.
+	cfg := DefaultConfig()
+	cfg.FixedR = 4
+	fw2 := Attach(android.NewSystem(5, device.P20), cfg)
+	if fw2.computeEf() != 4*sim.Second {
+		t.Fatalf("FixedR Ef %v", fw2.computeEf())
+	}
+	_ = sys
+}
+
+func TestMDTEfCapped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxEf = 10 * sim.Second
+	cfg.FixedR = 1000
+	fw := Attach(android.NewSystem(6, device.P20), cfg)
+	if fw.computeEf() != 10*sim.Second {
+		t.Fatalf("Ef %v not capped", fw.computeEf())
+	}
+}
+
+func TestThawOnLaunch(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Facebook")
+	launch(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(10 * sim.Second)
+	if !fb.Frozen() {
+		t.Skip("app did not freeze in the window")
+	}
+	// Switching the frozen app to the foreground thaws it first.
+	launch(t, sys, "Facebook")
+	if fb.Frozen() {
+		t.Fatal("app still frozen after foreground switch")
+	}
+	if fw.Stats().ThawOnLaunch == 0 {
+		t.Fatal("thaw-on-launch not recorded")
+	}
+	// And it leaves the frozen set.
+	for _, uid := range fw.FrozenSet() {
+		if uid == fb.UID {
+			t.Fatal("launched app still in the frozen set")
+		}
+	}
+}
+
+func TestFreezeAllBGAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FreezeAllBG = true
+	cfg.MaxEf = 4 * sim.Second
+	sys, _ := testRig(t, cfg)
+	launch(t, sys, "Facebook")
+	launch(t, sys, "PayPal")
+	launch(t, sys, "Camera")
+	// Run past one epoch boundary so the aggressive freezer fires.
+	sys.Run(10 * sim.Second)
+	frozen := 0
+	for _, name := range []string{"Facebook", "PayPal"} {
+		if sys.AM.App(name).Frozen() {
+			frozen++
+		}
+	}
+	if frozen != 2 {
+		t.Fatalf("freeze-all-BG froze %d of 2 cached apps", frozen)
+	}
+	if sys.AM.App("Camera").Frozen() {
+		t.Fatal("foreground app frozen by freeze-all-BG")
+	}
+}
+
+func TestProcessGrainAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProcessGrain = true
+	sys, _ := testRig(t, cfg)
+	launch(t, sys, "Facebook") // has a service process
+	launch(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(10 * sim.Second)
+	procs := fb.Processes()
+	frozen := 0
+	for _, p := range procs {
+		if p.Frozen() {
+			frozen++
+		}
+	}
+	if frozen == 0 {
+		t.Skip("no refault in window")
+	}
+	if frozen == len(procs) {
+		t.Fatal("process-grain ablation froze the whole application")
+	}
+}
+
+func TestKilledAppLeavesFrozenSet(t *testing.T) {
+	sys, fw := testRig(t, DefaultConfig())
+	launch(t, sys, "Facebook")
+	launch(t, sys, "Camera")
+	fb := sys.AM.App("Facebook")
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(10 * sim.Second)
+	if !fb.Frozen() {
+		t.Skip("no freeze in window")
+	}
+	// Simulate an LMK kill via the activity-manager teardown path: the
+	// mapping table and frozen set must both forget the app.
+	sys.LMK.KillForTest(fb)
+	if _, ok := fw.Table().LookupUID(fb.UID); ok {
+		t.Fatal("killed app still in mapping table")
+	}
+	for _, uid := range fw.FrozenSet() {
+		if uid == fb.UID {
+			t.Fatal("killed app still in frozen set")
+		}
+	}
+}
+
+func TestPredictiveThaw(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PredictiveThaw = true
+	sys, fw := testRig(t, cfg)
+	// Teach the predictor the pattern Camera → Facebook by alternating.
+	for i := 0; i < 3; i++ {
+		launch(t, sys, "Camera")
+		launch(t, sys, "Facebook")
+	}
+	launch(t, sys, "Camera") // Facebook now cached; predictor knows what's next
+	fb := sys.AM.App("Facebook")
+	for _, p := range fb.Processes() {
+		sys.MM.ReclaimProcess(p.PID)
+	}
+	sys.Run(10 * sim.Second)
+	if !fb.Frozen() {
+		t.Skip("facebook did not refault-freeze in the window")
+	}
+	// Re-foreground Camera: the predictor should pre-thaw Facebook.
+	launch(t, sys, "PayPal")
+	launch(t, sys, "Camera")
+	if fb.Frozen() {
+		t.Fatal("predicted-next app was not pre-thawed")
+	}
+	if fw.Stats().PredictiveThaws == 0 {
+		t.Fatal("predictive thaw not counted")
+	}
+}

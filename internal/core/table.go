@@ -1,0 +1,176 @@
+// Package core implements ICE, the paper's contribution: a collaborative
+// memory- and process-management framework. Its two components are
+//
+//   - RPF (refault-driven process freezing): refault events detected in the
+//     memory manager identify background applications that are thrashing;
+//     after sifting out kernel/service processes and whitelisted apps, the
+//     offending application — every process sharing its UID — is frozen.
+//
+//   - MDT (memory-aware dynamic thawing): a heartbeat alternates freeze
+//     periods E_f and thaw periods E_t (1 s), with the intensity
+//     R = E_f/E_t = δ·2^ceil(H_wm/S_am) rising as available memory falls.
+//
+// Plus the safety machinery of §4.4: the kernel-resident UID↔PID mapping
+// table, the oom_score_adj whitelist, and asynchronous thaw-on-launch.
+package core
+
+import "fmt"
+
+// Mapping-table entry field sizes from §6.4.1's memory accounting:
+// 64 B per UID, and per process 64 B PID + 1 B freezing state + 64 B
+// priority score (the paper's "20×64B for UID, 20×3×64B for PID,
+// 20×3×1B for freezing state, and 20×3×64B for priority score").
+const (
+	uidEntryBytes = 64
+	pidEntryBytes = 64
+	stateBytes    = 1
+	scoreBytes    = 64
+	perPIDBytes   = pidEntryBytes + stateBytes + scoreBytes
+)
+
+// DefaultTableMaxBytes is the safety upper bound on the mapping table
+// ("The upper bound is set to 32KB", §6.4.1).
+const DefaultTableMaxBytes = 32 * 1024
+
+// Entry is one application's record in the mapping table.
+type Entry struct {
+	UID    int
+	PIDs   []int
+	Adj    int
+	Frozen bool
+}
+
+// sizeBytes computes the entry's accounted size.
+func (e *Entry) sizeBytes() int {
+	return uidEntryBytes + len(e.PIDs)*perPIDBytes
+}
+
+// MappingTable is ICE's kernel-resident UID↔PID table. The framework
+// updates it over the procfs protocol when applications are installed,
+// launched or exited; RPF indexes it on every refault, so lookups must be
+// O(1) ("one table indexing can be completed at µs level", §6.4.2).
+type MappingTable struct {
+	byUID map[int]*Entry
+	byPID map[int]*Entry
+
+	maxBytes int
+	bytes    int
+
+	// Lookups counts index operations, for the overhead analysis.
+	Lookups uint64
+	// Updates counts mutation operations (the cross-space communications).
+	Updates uint64
+}
+
+// NewMappingTable creates a table bounded at maxBytes (0 uses the default
+// 32 KB bound).
+func NewMappingTable(maxBytes int) *MappingTable {
+	if maxBytes <= 0 {
+		maxBytes = DefaultTableMaxBytes
+	}
+	return &MappingTable{
+		byUID:    make(map[int]*Entry),
+		byPID:    make(map[int]*Entry),
+		maxBytes: maxBytes,
+	}
+}
+
+// Len reports the number of applications tracked.
+func (t *MappingTable) Len() int { return len(t.byUID) }
+
+// SizeBytes reports the accounted size of the table.
+func (t *MappingTable) SizeBytes() int { return t.bytes }
+
+// AddProcess records pid under uid with the given adj score. It returns an
+// error if the addition would exceed the table bound — the caller then
+// simply doesn't track the process (fails safe: untracked processes are
+// never frozen).
+func (t *MappingTable) AddProcess(uid, pid, adj int) error {
+	t.Updates++
+	e := t.byUID[uid]
+	if e == nil {
+		add := uidEntryBytes + perPIDBytes
+		if t.bytes+add > t.maxBytes {
+			return fmt.Errorf("core: mapping table full (%d/%d bytes)", t.bytes, t.maxBytes)
+		}
+		e = &Entry{UID: uid, Adj: adj}
+		t.byUID[uid] = e
+		t.bytes += uidEntryBytes
+	} else if t.bytes+perPIDBytes > t.maxBytes {
+		return fmt.Errorf("core: mapping table full (%d/%d bytes)", t.bytes, t.maxBytes)
+	}
+	if old := t.byPID[pid]; old != nil {
+		t.removePIDFrom(old, pid)
+	}
+	e.PIDs = append(e.PIDs, pid)
+	e.Adj = adj
+	t.byPID[pid] = e
+	t.bytes += perPIDBytes
+	return nil
+}
+
+// RemoveProcess drops pid; an application whose last process exits is
+// removed entirely ("Corresponding objects ... will be deleted if an
+// application's life cycle ends").
+func (t *MappingTable) RemoveProcess(pid int) {
+	t.Updates++
+	e := t.byPID[pid]
+	if e == nil {
+		return
+	}
+	t.removePIDFrom(e, pid)
+	if len(e.PIDs) == 0 {
+		t.bytes -= uidEntryBytes
+		delete(t.byUID, e.UID)
+	}
+}
+
+func (t *MappingTable) removePIDFrom(e *Entry, pid int) {
+	for i, p := range e.PIDs {
+		if p == pid {
+			e.PIDs = append(e.PIDs[:i], e.PIDs[i+1:]...)
+			break
+		}
+	}
+	delete(t.byPID, pid)
+	t.bytes -= perPIDBytes
+}
+
+// SetAdj updates an application's priority score (whitelist refresh).
+func (t *MappingTable) SetAdj(uid, adj int) {
+	t.Updates++
+	if e := t.byUID[uid]; e != nil {
+		e.Adj = adj
+	}
+}
+
+// SetFrozen updates an application's freezing state.
+func (t *MappingTable) SetFrozen(uid int, frozen bool) {
+	t.Updates++
+	if e := t.byUID[uid]; e != nil {
+		e.Frozen = frozen
+	}
+}
+
+// LookupPID indexes the table by PID — the hot path on every refault.
+func (t *MappingTable) LookupPID(pid int) (*Entry, bool) {
+	t.Lookups++
+	e := t.byPID[pid]
+	return e, e != nil
+}
+
+// LookupUID indexes the table by UID.
+func (t *MappingTable) LookupUID(uid int) (*Entry, bool) {
+	t.Lookups++
+	e := t.byUID[uid]
+	return e, e != nil
+}
+
+// UIDs returns the tracked UIDs (order unspecified).
+func (t *MappingTable) UIDs() []int {
+	out := make([]int, 0, len(t.byUID))
+	for uid := range t.byUID {
+		out = append(out, uid)
+	}
+	return out
+}

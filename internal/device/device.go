@@ -1,0 +1,167 @@
+// Package device defines the hardware profiles of the smartphones used in
+// the paper's evaluation (Table 2): the Google Pixel3 and HUAWEI P20 that
+// run every experiment, plus the P40 and Pixel4 that appear in the §3.1
+// user study.
+//
+// Memory sizes are expressed in simulated pages (1 sim page = 64 KiB =
+// 16 × 4 KiB). ZRAM partition sizes and watermarks follow the paper's
+// Table 4; the low and min watermarks are 5/6 and 2/3 of the high
+// watermark, "following the default configuration in the Linux kernel"
+// (paper footnote).
+package device
+
+import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/mm"
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/storage"
+	"github.com/eurosys23/ice/internal/zram"
+)
+
+// PagesPerGB converts gigabytes of DRAM to simulated pages.
+const PagesPerGB = 1 << 30 / (4096 * mm.PagesPerSimPage) // 16384
+
+// PagesPerMB converts megabytes to simulated pages.
+const PagesPerMB = 1 << 20 / (4096 * mm.PagesPerSimPage) // 16
+
+// Profile describes one phone model.
+type Profile struct {
+	Name string
+	SoC  string
+	// RAMPages is total DRAM in simulated pages.
+	RAMPages int
+	// ReservedPages is the kernel + firmware + early-framework carve-out.
+	ReservedPages int
+	Cores         int
+	// CPUFactor scales modelled CPU costs (1.0 = P20-class mid-range;
+	// larger = slower silicon).
+	CPUFactor float64
+	// Storage is the flash device class.
+	Storage storage.Params
+	// ZramPages is the ZRAM partition capacity in (uncompressed) simulated
+	// pages — Table 4's S parameter.
+	ZramPages int
+	// HighWatermarkPages is Table 4's H_wm in simulated pages. Kernel
+	// watermarks are small (a few MB to tens of MB): free memory hovers
+	// just above the low watermark on a full device, which is what makes
+	// every allocation burst a potential direct-reclaim event.
+	HighWatermarkPages int
+	// AndroidVersion is informational (Table 2).
+	AndroidVersion int
+}
+
+// LowWatermarkPages derives the low watermark (5/6 of high).
+func (p Profile) LowWatermarkPages() int { return p.HighWatermarkPages * 5 / 6 }
+
+// MinWatermarkPages derives the min watermark (2/3 of high).
+func (p Profile) MinWatermarkPages() int { return p.HighWatermarkPages * 2 / 3 }
+
+// MMConfig builds the memory-manager configuration for this device.
+func (p Profile) MMConfig() mm.Config {
+	cfg := mm.DefaultConfig()
+	cfg.TotalPages = p.RAMPages
+	cfg.ReservedPages = p.ReservedPages
+	cfg.HighWatermark = p.HighWatermarkPages
+	cfg.LowWatermark = p.LowWatermarkPages()
+	cfg.MinWatermark = p.MinWatermarkPages()
+	// Slower silicon pays more for every mm operation.
+	cfg.ScanCost = scale(cfg.ScanCost, p.CPUFactor)
+	cfg.UnmapCost = scale(cfg.UnmapCost, p.CPUFactor)
+	cfg.FaultCost = scale(cfg.FaultCost, p.CPUFactor)
+	cfg.SlowPathCost = scale(cfg.SlowPathCost, p.CPUFactor)
+	cfg.ThrashCoupling = scale(cfg.ThrashCoupling, p.CPUFactor)
+	return cfg
+}
+
+// ZramConfig builds the ZRAM configuration for this device.
+func (p Profile) ZramConfig() zram.Config {
+	cfg := zram.DefaultConfig(p.ZramPages)
+	cfg.CompressLatency = scale(cfg.CompressLatency, p.CPUFactor)
+	cfg.DecompressLatency = scale(cfg.DecompressLatency, p.CPUFactor)
+	return cfg
+}
+
+func scale(t sim.Time, f float64) sim.Time {
+	return sim.Time(float64(t) * f)
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s (%s, %dGB RAM, %s, Android %d)",
+		p.Name, p.SoC, p.RAMPages/PagesPerGB, p.Storage.Name, p.AndroidVersion)
+}
+
+// The device fleet of Table 2. The Pixel3 represents low-end devices and
+// the P20 mid-range devices; both host the full evaluation of §6.
+var (
+	// Pixel3: Qualcomm Snapdragon 845, 4 GB DDR4, 64 GB eMMC 5.1,
+	// Android 10.
+	Pixel3 = Profile{
+		Name:               "Pixel3",
+		SoC:                "QSD845",
+		RAMPages:           4 * PagesPerGB,
+		ReservedPages:      PagesPerGB, // ~1 GB kernel+firmware+core framework
+		Cores:              8,
+		CPUFactor:          1.15,
+		Storage:            storage.EMMC51,
+		ZramPages:          512 * PagesPerMB,
+		HighWatermarkPages: 16 * PagesPerMB,
+		AndroidVersion:     10,
+	}
+
+	// P20: HiSilicon Kirin 970, 6 GB DDR4, 64 GB UFS 2.1, Android 9.
+	P20 = Profile{
+		Name:               "P20",
+		SoC:                "Kirin970",
+		RAMPages:           6 * PagesPerGB,
+		ReservedPages:      2 * PagesPerGB, // ~2 GB (EMUI framework is heavy)
+		Cores:              8,
+		CPUFactor:          1.0,
+		Storage:            storage.UFS21,
+		ZramPages:          1024 * PagesPerMB,
+		HighWatermarkPages: 24 * PagesPerMB,
+		AndroidVersion:     9,
+	}
+
+	// P40: HiSilicon Kirin 990, 8 GB, Android 10 (user study only).
+	P40 = Profile{
+		Name:               "P40",
+		SoC:                "Kirin990",
+		RAMPages:           8 * PagesPerGB,
+		ReservedPages:      PagesPerGB,
+		Cores:              8,
+		CPUFactor:          0.85,
+		Storage:            storage.UFS21,
+		ZramPages:          1024 * PagesPerMB,
+		HighWatermarkPages: 32 * PagesPerMB,
+		AndroidVersion:     10,
+	}
+
+	// Pixel4: Qualcomm Snapdragon 855, 6 GB, Android 10 (user study only).
+	Pixel4 = Profile{
+		Name:               "Pixel4",
+		SoC:                "QSD855",
+		RAMPages:           6 * PagesPerGB,
+		ReservedPages:      PagesPerGB,
+		Cores:              8,
+		CPUFactor:          0.9,
+		Storage:            storage.UFS21,
+		ZramPages:          512 * PagesPerMB,
+		HighWatermarkPages: 24 * PagesPerMB,
+		AndroidVersion:     10,
+	}
+)
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range []Profile{Pixel3, P20, P40, Pixel4} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// All returns the full fleet in Table 2 order.
+func All() []Profile { return []Profile{P20, P40, Pixel3, Pixel4} }

@@ -1,0 +1,116 @@
+package device
+
+import "testing"
+
+func TestFleetMatchesTable2(t *testing.T) {
+	cases := []struct {
+		p   Profile
+		gb  int
+		soc string
+	}{
+		{P20, 6, "Kirin970"},
+		{P40, 8, "Kirin990"},
+		{Pixel3, 4, "QSD845"},
+		{Pixel4, 6, "QSD855"},
+	}
+	for _, c := range cases {
+		if c.p.RAMPages != c.gb*PagesPerGB {
+			t.Errorf("%s RAM %d pages, want %d GB", c.p.Name, c.p.RAMPages, c.gb)
+		}
+		if c.p.SoC != c.soc {
+			t.Errorf("%s SoC %s", c.p.Name, c.p.SoC)
+		}
+	}
+}
+
+func TestWatermarkOrdering(t *testing.T) {
+	for _, p := range All() {
+		if !(p.MinWatermarkPages() < p.LowWatermarkPages() && p.LowWatermarkPages() < p.HighWatermarkPages) {
+			t.Errorf("%s watermarks out of order: %d/%d/%d", p.Name,
+				p.MinWatermarkPages(), p.LowWatermarkPages(), p.HighWatermarkPages)
+		}
+		// The paper footnote: low = 5/6 high, min = 2/3 high.
+		if p.LowWatermarkPages() != p.HighWatermarkPages*5/6 {
+			t.Errorf("%s low watermark not 5/6 of high", p.Name)
+		}
+		if p.MinWatermarkPages() != p.HighWatermarkPages*2/3 {
+			t.Errorf("%s min watermark not 2/3 of high", p.Name)
+		}
+	}
+}
+
+func TestZramSizesMatchTable4(t *testing.T) {
+	if Pixel3.ZramPages != 512*PagesPerMB {
+		t.Errorf("Pixel3 zram %d pages, want 512 MB (Table 4 S^g)", Pixel3.ZramPages)
+	}
+	if P20.ZramPages != 1024*PagesPerMB {
+		t.Errorf("P20 zram %d pages, want 1024 MB (Table 4 S^h)", P20.ZramPages)
+	}
+}
+
+func TestMMConfigDerivation(t *testing.T) {
+	cfg := P20.MMConfig()
+	if cfg.TotalPages != P20.RAMPages || cfg.ReservedPages != P20.ReservedPages {
+		t.Fatal("sizes not copied")
+	}
+	if cfg.HighWatermark != P20.HighWatermarkPages {
+		t.Fatal("watermark not copied")
+	}
+	// Slower silicon pays more.
+	slow := Pixel3.MMConfig()
+	fast := P40.MMConfig()
+	if slow.FaultCost <= fast.FaultCost {
+		t.Fatal("CPU factor not applied to fault cost")
+	}
+	if slow.ThrashCoupling <= fast.ThrashCoupling {
+		t.Fatal("CPU factor not applied to thrash coupling")
+	}
+}
+
+func TestZramConfigDerivation(t *testing.T) {
+	cfg := Pixel3.ZramConfig()
+	if cfg.CapacityPages != Pixel3.ZramPages {
+		t.Fatal("zram capacity not copied")
+	}
+	if cfg.CompressLatency <= P40.ZramConfig().CompressLatency {
+		t.Fatal("CPU factor not applied to compression")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("P20")
+	if !ok || p.Name != "P20" {
+		t.Fatal("ByName(P20) failed")
+	}
+	if _, ok := ByName("iPhone"); ok {
+		t.Fatal("ByName resolved an unknown device")
+	}
+}
+
+func TestStorageClasses(t *testing.T) {
+	if Pixel3.Storage.Name != "eMMC5.1" {
+		t.Errorf("Pixel3 storage %s", Pixel3.Storage.Name)
+	}
+	if P20.Storage.Name != "UFS2.1" {
+		t.Errorf("P20 storage %s", P20.Storage.Name)
+	}
+	if Pixel3.Storage.ReadLatency <= P20.Storage.ReadLatency {
+		t.Error("eMMC should be slower than UFS")
+	}
+}
+
+func TestUsableMemoryPositive(t *testing.T) {
+	for _, p := range All() {
+		usable := p.RAMPages - p.ReservedPages
+		if usable <= p.HighWatermarkPages {
+			t.Errorf("%s has no usable memory", p.Name)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := P20.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"github.com/eurosys23/ice/internal/core"
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/workload"
+)
+
+// AblationRow is one ICE variant's outcome on the S-A scenario (P20).
+type AblationRow struct {
+	Variant    string
+	FPS        float64
+	RIA        float64
+	Refaulted  uint64
+	Reclaimed  uint64
+	FrozenApps float64
+	// MeanHotResume captures the launch-responsiveness cost of aggressive
+	// freezing (measured on a post-scenario hot switch).
+	ThawActions uint64
+}
+
+// AblationResult compares ICE design points: the full system against
+// freeze-all-background, fixed (memory-blind) intensity, process-grain
+// freezing, and no whitelist.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// ablationVariants enumerates the design points DESIGN.md calls out.
+func ablationVariants() []struct {
+	name string
+	cfg  func() core.Config
+} {
+	return []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"Ice (full)", core.DefaultConfig},
+		{"freeze-all-BG", func() core.Config {
+			c := core.DefaultConfig()
+			c.FreezeAllBG = true
+			return c
+		}},
+		{"fixed-intensity (R=16)", func() core.Config {
+			c := core.DefaultConfig()
+			c.FixedR = 16
+			return c
+		}},
+		{"process-grain", func() core.Config {
+			c := core.DefaultConfig()
+			c.ProcessGrain = true
+			return c
+		}},
+		{"no-whitelist", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableWhitelist = true
+			return c
+		}},
+		{"no-thaw-on-launch", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableThawOnLaunch = true
+			return c
+		}},
+		{"predictive-thaw", func() core.Config {
+			c := core.DefaultConfig()
+			c.PredictiveThaw = true
+			return c
+		}},
+	}
+}
+
+// Ablations runs each ICE variant on the video-call scenario (P20).
+func Ablations(o Options) AblationResult {
+	o = o.withDefaults()
+	variants := ablationVariants()
+	res := AblationResult{Rows: make([]AblationRow, len(variants))}
+	o.forEachIndexed(len(variants), func(i int) {
+		v := variants[i]
+		row := AblationRow{Variant: v.name}
+		var fps, ria, frozen []float64
+		for r := 0; r < o.Rounds; r++ {
+			ice := &policy.Ice{Config: v.cfg()}
+			sres := workload.RunScenario(workload.ScenarioConfig{
+				Scenario: "S-A",
+				Device:   device.P20,
+				Scheme:   ice,
+				BGCase:   workload.BGApps,
+				Duration: o.Duration,
+				Seed:     o.roundSeed(r) + int64(i)*67,
+			})
+			fps = append(fps, sres.Frames.AvgFPS())
+			ria = append(ria, sres.Frames.RIA())
+			frozen = append(frozen, float64(sres.FrozenApps))
+			row.Refaulted += sres.Mem.Total.Refaulted
+			row.Reclaimed += sres.Mem.Total.Reclaimed
+			if ice.Framework != nil {
+				row.ThawActions += ice.Framework.Stats().ThawActions
+			}
+		}
+		row.FPS = mean(fps)
+		row.RIA = mean(ria)
+		row.FrozenApps = mean(frozen)
+		row.Refaulted /= uint64(o.Rounds)
+		row.Reclaimed /= uint64(o.Rounds)
+		row.ThawActions /= uint64(o.Rounds)
+		res.Rows[i] = row
+	})
+	return res
+}
+
+// String renders the ablation table.
+func (r AblationResult) String() string {
+	t := newTable("Ablations: ICE design points (S-A, P20, BG-apps)",
+		"Variant", "FPS", "RIA", "Refault", "Reclaim", "Frozen apps", "Thaws")
+	for _, row := range r.Rows {
+		t.addRow(row.Variant, f1(row.FPS), pct(row.RIA),
+			itoa(int(realPages(row.Refaulted))), itoa(int(realPages(row.Reclaimed))),
+			f1(row.FrozenApps), itoa(int(row.ThawActions)))
+	}
+	return t.String()
+}

@@ -1,0 +1,107 @@
+// Package experiments reproduces every table and figure of the paper's
+// motivation and evaluation sections. Each runner returns a structured
+// result with a paper-style textual rendering; cmd/experiments, the root
+// benchmark suite and EXPERIMENTS.md all consume the same runners.
+//
+// Runners honour Options.Fast, which shrinks rounds and durations so the
+// whole suite can execute in seconds under `go test -bench`. Full-fidelity
+// runs use the defaults, mirroring the paper's ten-round methodology.
+package experiments
+
+import (
+	"sync"
+
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Rounds of repetition with re-randomised background populations
+	// (default 10, the paper's count; Fast: 2).
+	Rounds int
+	// Duration of each measured scenario window (default 60 s; Fast: 15 s).
+	Duration sim.Time
+	// Seed is the base random seed; round r uses Seed + r·prime.
+	Seed int64
+	// Fast shrinks everything for smoke tests and benchmarks.
+	Fast bool
+	// Parallel runs rounds on separate goroutines (each round owns an
+	// isolated simulated device, so results are unchanged).
+	Parallel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 20230509 // EuroSys'23 opening day
+	}
+	if o.Rounds == 0 {
+		if o.Fast {
+			o.Rounds = 2
+		} else {
+			o.Rounds = 10
+		}
+	}
+	if o.Duration == 0 {
+		if o.Fast {
+			o.Duration = 15 * sim.Second
+		} else {
+			o.Duration = 60 * sim.Second
+		}
+	}
+	return o
+}
+
+// roundSeed derives the seed for round r.
+func (o Options) roundSeed(r int) int64 { return o.Seed + int64(r)*1000003 }
+
+// forEachRound runs fn for each round index, optionally in parallel.
+// fn must write only to its own round's slot in any shared slice.
+func (o Options) forEachRound(fn func(r int)) {
+	if !o.Parallel {
+		for r := 0; r < o.Rounds; r++ {
+			fn(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < o.Rounds; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// forEachIndexed runs fn for i in [0, n), optionally in parallel. fn must
+// write only to its own slot in any shared slice.
+func (o Options) forEachIndexed(n int, fn func(i int)) {
+	if !o.Parallel {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// mean of a float slice (0 for empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/workload"
+)
+
+// Figure8Cell is one (device, scenario, scheme) measurement.
+type Figure8Cell struct {
+	Device   string
+	Scenario string
+	Scheme   string
+	FPS      float64
+	RIA      float64
+	// Memory counters (simulated pages) reused by Figure 10 and Table 5.
+	Reclaimed  uint64
+	Refaulted  uint64
+	RefaultFG  uint64
+	RefaultBG  uint64
+	FrozenApps float64
+	// IORequests and CPUUtil feed the §6.2.2 analysis.
+	IOPages uint64
+	CPUUtil float64
+}
+
+// Figure8Result is the headline evaluation: FPS and RIA for the four
+// schemes across the four scenarios on both devices.
+type Figure8Result struct {
+	Cells   []Figure8Cell
+	Schemes []string
+}
+
+// Cell returns the cell for (device, scenario, scheme), or nil.
+func (r *Figure8Result) Cell(dev, scenario, scheme string) *Figure8Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Device == dev && c.Scenario == scenario && c.Scheme == scheme {
+			return c
+		}
+	}
+	return nil
+}
+
+// runMatrix executes scenarios × schemes × rounds on the given devices.
+func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios []string) []Figure8Cell {
+	type idx struct{ d, s, p int }
+	var keys []idx
+	for d := range devices {
+		for s := range scenarios {
+			for p := range schemes {
+				keys = append(keys, idx{d, s, p})
+			}
+		}
+	}
+	cells := make([]Figure8Cell, len(keys))
+	o.forEachIndexed(len(keys), func(i int) {
+		k := keys[i]
+		cell := Figure8Cell{
+			Device:   devices[k.d].Name,
+			Scenario: scenarios[k.s],
+			Scheme:   schemes[k.p],
+		}
+		var fps, ria, util, frozen []float64
+		for r := 0; r < o.Rounds; r++ {
+			sch, err := policy.ByName(schemes[k.p])
+			if err != nil {
+				panic(err)
+			}
+			res := workload.RunScenario(workload.ScenarioConfig{
+				Scenario: scenarios[k.s],
+				Device:   devices[k.d],
+				Scheme:   sch,
+				BGCase:   workload.BGApps,
+				Duration: o.Duration,
+				Seed:     o.roundSeed(r) + int64(k.d)*7919 + int64(k.s)*389,
+			})
+			fps = append(fps, res.Frames.AvgFPS())
+			ria = append(ria, res.Frames.RIA())
+			util = append(util, res.CPU.Utilization())
+			frozen = append(frozen, float64(res.FrozenApps))
+			cell.Reclaimed += res.Mem.Total.Reclaimed
+			cell.Refaulted += res.Mem.Total.Refaulted
+			cell.RefaultFG += res.Mem.RefaultFG
+			cell.RefaultBG += res.Mem.RefaultBG
+			cell.IOPages += res.IO.TotalPages()
+		}
+		n := uint64(o.Rounds)
+		cell.FPS = mean(fps)
+		cell.RIA = mean(ria)
+		cell.CPUUtil = mean(util)
+		cell.FrozenApps = mean(frozen)
+		cell.Reclaimed /= n
+		cell.Refaulted /= n
+		cell.RefaultFG /= n
+		cell.RefaultBG /= n
+		cell.IOPages /= n
+		cells[i] = cell
+	})
+	return cells
+}
+
+// Figure8 runs the full scheme × scenario × device matrix with the
+// device-default background population (6 on Pixel3, 8 on P20).
+func Figure8(o Options) Figure8Result {
+	o = o.withDefaults()
+	schemes := policy.Names()
+	cells := runMatrix(o, []device.Profile{device.Pixel3, device.P20}, schemes, workload.Scenarios())
+	return Figure8Result{Cells: cells, Schemes: schemes}
+}
+
+// String renders the FPS and RIA tables.
+func (r Figure8Result) String() string {
+	out := ""
+	for _, devName := range []string{"Pixel3", "P20"} {
+		t := newTable("Figure 8 ("+devName+"): FPS / RIA per scheme",
+			append([]string{"Scenario"}, r.Schemes...)...)
+		for _, s := range workload.Scenarios() {
+			row := []string{s}
+			for _, p := range r.Schemes {
+				if c := r.Cell(devName, s, p); c != nil {
+					row = append(row, f1(c.FPS)+" / "+pct(c.RIA))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.addRow(row...)
+		}
+		out += t.String() + "\n"
+	}
+	return out + "paper (S-A, Pixel3): 25.4 / 29.3 / 24.1 / 37.2 fps; PUBG P20 RIA 46%→28%\n"
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/workload"
+)
+
+// Figure9Cell is one (device, BG count, scheme) point: FPS/RIA averaged
+// over the four scenarios.
+type Figure9Cell struct {
+	Device string
+	NumBG  int
+	Scheme string
+	FPS    float64
+	RIA    float64
+}
+
+// Figure9Result sweeps the cached-app count with and without ICE.
+type Figure9Result struct {
+	Cells []Figure9Cell
+}
+
+// Cell returns the cell for (device, numBG, scheme), or nil.
+func (r *Figure9Result) Cell(dev string, numBG int, scheme string) *Figure9Cell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Device == dev && c.NumBG == numBG && c.Scheme == scheme {
+			return c
+		}
+	}
+	return nil
+}
+
+// figure9Counts returns the swept BG counts per device ("F" = 0,
+// "2B+F" = 2, ..., up to the device's full population).
+func figure9Counts(dev device.Profile) []int {
+	if dev.Name == "Pixel3" {
+		return []int{0, 2, 4, 6}
+	}
+	return []int{0, 2, 4, 6, 8}
+}
+
+// Figure9 sweeps the number of cached applications on both devices for
+// LRU+CFS and Ice, averaging FPS/RIA across the four scenarios.
+func Figure9(o Options) Figure9Result {
+	o = o.withDefaults()
+	devices := []device.Profile{device.Pixel3, device.P20}
+	schemes := []string{"LRU+CFS", "Ice"}
+	scenarios := workload.Scenarios()
+
+	type key struct {
+		dev    device.Profile
+		numBG  int
+		scheme string
+	}
+	var keys []key
+	for _, d := range devices {
+		for _, n := range figure9Counts(d) {
+			for _, p := range schemes {
+				keys = append(keys, key{d, n, p})
+			}
+		}
+	}
+	cells := make([]Figure9Cell, len(keys))
+	o.forEachIndexed(len(keys), func(i int) {
+		k := keys[i]
+		var fps, ria []float64
+		for s := range scenarios {
+			for r := 0; r < o.Rounds; r++ {
+				sch, _ := policy.ByName(k.scheme)
+				bgCase := workload.BGApps
+				if k.numBG == 0 {
+					bgCase = workload.BGNull
+				}
+				res := workload.RunScenario(workload.ScenarioConfig{
+					Scenario: scenarios[s],
+					Device:   k.dev,
+					Scheme:   sch,
+					BGCase:   bgCase,
+					NumBG:    k.numBG,
+					Duration: o.Duration,
+					Seed:     o.roundSeed(r) + int64(s)*389 + int64(k.numBG)*53,
+				})
+				fps = append(fps, res.Frames.AvgFPS())
+				ria = append(ria, res.Frames.RIA())
+			}
+		}
+		cells[i] = Figure9Cell{Device: k.dev.Name, NumBG: k.numBG, Scheme: k.scheme, FPS: mean(fps), RIA: mean(ria)}
+	})
+	return Figure9Result{Cells: cells}
+}
+
+// Speedup returns Ice FPS over LRU+CFS FPS at the device's full BG
+// population (the paper's 1.57× on Pixel3 6B+F and 1.44× on P20 8B+F).
+func (r Figure9Result) Speedup(dev string) float64 {
+	full := 6
+	if dev == "P20" {
+		full = 8
+	}
+	base := r.Cell(dev, full, "LRU+CFS")
+	ice := r.Cell(dev, full, "Ice")
+	if base == nil || ice == nil || base.FPS == 0 {
+		return 0
+	}
+	return ice.FPS / base.FPS
+}
+
+// String renders both device sweeps.
+func (r Figure9Result) String() string {
+	out := ""
+	for _, d := range []device.Profile{device.Pixel3, device.P20} {
+		t := newTable("Figure 9 ("+d.Name+"): FPS / RIA vs number of cached BG apps",
+			"Case", "LRU+CFS", "Ice")
+		for _, n := range figure9Counts(d) {
+			label := "F"
+			if n > 0 {
+				label = fmt.Sprintf("%dB+F", n)
+			}
+			row := []string{label}
+			for _, p := range []string{"LRU+CFS", "Ice"} {
+				if c := r.Cell(d.Name, n, p); c != nil {
+					row = append(row, f1(c.FPS)+" / "+pct(c.RIA))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.addRow(row...)
+		}
+		t.note("Ice speedup at full population: %.2fx (paper: %s)",
+			r.Speedup(d.Name), map[string]string{"Pixel3": "1.57x", "P20": "1.44x"}[d.Name])
+		out += t.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a minimal fixed-width text-table builder used by every result's
+// String method, so the CLI and EXPERIMENTS.md render identically.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header}
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addRowf(format string, args ...interface{}) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) note(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// itoa formats an int.
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// f1 formats with one decimal.
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// realPages converts simulated pages to 4 KiB-equivalent page counts for
+// comparison with the paper's raw numbers.
+func realPages(simPages uint64) uint64 { return simPages * 16 }
+
+// sparkline renders a series as one character per sample, scaled to max.
+// The timelines of Figures 1 and 3b are printed this way.
+func sparkline(series []float64, max float64) string {
+	if max <= 0 {
+		max = 1
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range series {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// downsample reduces a series to at most n points by bucket-averaging, so
+// long timelines fit a terminal row.
+func downsample(series []float64, n int) []float64 {
+	if n <= 0 || len(series) <= n {
+		return series
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(series) / n
+		hi := (i + 1) * len(series) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+// Package metrics collects the user-experience measurements the paper
+// reports: frame rate (FPS), the ratio of interaction alerts (RIA — frames
+// that missed the 16.6 ms deadline), application launch latencies, and the
+// statistical helpers used by the evaluation figures.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// JankThreshold is Systrace's interaction-alert deadline: a frame not
+// rendered within 16.6 ms reads as jerky to the user (§6.1).
+const JankThreshold = sim.Time(16600) // 16.6 ms in µs
+
+// FrameRecorder accumulates per-frame results for one measurement window.
+type FrameRecorder struct {
+	start sim.Time
+
+	perSecond     []int
+	jankPerSecond []int
+
+	completed  int
+	janky      int
+	dropped    int
+	latencySum sim.Time
+	maxLatency sim.Time
+}
+
+// NewFrameRecorder starts a recorder at now.
+func NewFrameRecorder(now sim.Time) *FrameRecorder {
+	return &FrameRecorder{start: now}
+}
+
+// Reset clears the recorder and restarts the window at now.
+func (r *FrameRecorder) Reset(now sim.Time) {
+	*r = FrameRecorder{start: now}
+}
+
+func (r *FrameRecorder) secondAt(t sim.Time) int {
+	sec := int((t - r.start) / sim.Second)
+	if sec < 0 {
+		sec = 0
+	}
+	return sec
+}
+
+func grow(s []int, idx int) []int {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// RecordFrame registers a frame whose vsync was issued at vsync and which
+// finished rendering at finish.
+func (r *FrameRecorder) RecordFrame(vsync, finish sim.Time) {
+	latency := finish - vsync
+	sec := r.secondAt(finish)
+	r.perSecond = grow(r.perSecond, sec)
+	r.perSecond[sec]++
+	r.completed++
+	r.latencySum += latency
+	if latency > r.maxLatency {
+		r.maxLatency = latency
+	}
+	if latency > JankThreshold {
+		r.jankPerSecond = grow(r.jankPerSecond, sec)
+		r.jankPerSecond[sec]++
+		r.janky++
+	}
+}
+
+// RecordDrop registers a frame dropped outright (the render queue was
+// full). Dropped frames count as interaction alerts.
+func (r *FrameRecorder) RecordDrop(now sim.Time) {
+	r.dropped++
+	sec := r.secondAt(now)
+	r.jankPerSecond = grow(r.jankPerSecond, sec)
+	r.jankPerSecond[sec]++
+}
+
+// FrameStats is an immutable summary of a recorder window.
+type FrameStats struct {
+	Completed  int
+	Janky      int
+	Dropped    int
+	Window     sim.Time
+	AvgLatency sim.Time
+	MaxLatency sim.Time
+	FPSSeries  []float64
+}
+
+// Snapshot summarises the window [start, now).
+func (r *FrameRecorder) Snapshot(now sim.Time) FrameStats {
+	st := FrameStats{
+		Completed:  r.completed,
+		Janky:      r.janky,
+		Dropped:    r.dropped,
+		Window:     now - r.start,
+		MaxLatency: r.maxLatency,
+	}
+	if r.completed > 0 {
+		st.AvgLatency = r.latencySum / sim.Time(r.completed)
+	}
+	secs := int(st.Window / sim.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	st.FPSSeries = make([]float64, secs)
+	for i := 0; i < secs && i < len(r.perSecond); i++ {
+		st.FPSSeries[i] = float64(r.perSecond[i])
+	}
+	return st
+}
+
+// AvgFPS is completed frames divided by the window length.
+func (s FrameStats) AvgFPS() float64 {
+	secs := s.Window.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / secs
+}
+
+// RIA is the ratio of interaction alerts: rendered frames that blew the
+// 16.6 ms budget. Dropped frames depress FPS instead (see DropShare).
+func (s FrameStats) RIA() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.Janky) / float64(s.Completed)
+}
+
+// DropShare is the fraction of produced frames dropped by a saturated
+// pipeline.
+func (s FrameStats) DropShare() float64 {
+	total := s.Completed + s.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(total)
+}
+
+// String implements fmt.Stringer.
+func (s FrameStats) String() string {
+	return fmt.Sprintf("fps=%.1f ria=%.1f%% frames=%d janky=%d dropped=%d",
+		s.AvgFPS(), 100*s.RIA(), s.Completed, s.Janky, s.Dropped)
+}
+
+// LaunchRecord is one application launch measurement.
+type LaunchRecord struct {
+	App     string
+	Cold    bool
+	Latency sim.Time
+}
+
+// LaunchStats aggregates launch records.
+type LaunchStats struct {
+	Records []LaunchRecord
+}
+
+// Add appends a record.
+func (l *LaunchStats) Add(rec LaunchRecord) { l.Records = append(l.Records, rec) }
+
+// Reset clears the records.
+func (l *LaunchStats) Reset() { l.Records = l.Records[:0] }
+
+// Count returns (cold, hot) launch counts.
+func (l *LaunchStats) Count() (cold, hot int) {
+	for _, r := range l.Records {
+		if r.Cold {
+			cold++
+		} else {
+			hot++
+		}
+	}
+	return
+}
+
+// Mean returns the mean latency over records matched by filter (nil = all).
+func (l *LaunchStats) Mean(filter func(LaunchRecord) bool) sim.Time {
+	var sum sim.Time
+	var n int
+	for _, r := range l.Records {
+		if filter == nil || filter(r) {
+			sum += r.Latency
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Time(n)
+}
+
+// MeanCold / MeanHot are convenience filters.
+func (l *LaunchStats) MeanCold() sim.Time {
+	return l.Mean(func(r LaunchRecord) bool { return r.Cold })
+}
+
+// MeanHot returns the mean hot-launch latency.
+func (l *LaunchStats) MeanHot() sim.Time {
+	return l.Mean(func(r LaunchRecord) bool { return !r.Cold })
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0-100) of xs by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p / 100 * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// DecileRow is one decile bin of Figure 2b: time windows sorted by BG
+// refault count, reporting the mean frame rate and mean reclaim volume of
+// each bin.
+type DecileRow struct {
+	Decile       string
+	MeanRefaults float64
+	MeanFPS      float64
+	MeanReclaims float64
+}
+
+// WindowSample is one 30-second analysis window for Figure 2b.
+type WindowSample struct {
+	BGRefaults float64
+	FPS        float64
+	Reclaims   float64
+}
+
+// DecileBins sorts the samples by BG refault count and averages each
+// decile, reproducing the paper's Figure 2b analysis.
+func DecileBins(samples []WindowSample) []DecileRow {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]WindowSample(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i].BGRefaults < s[j].BGRefaults })
+	rows := make([]DecileRow, 0, 10)
+	for d := 0; d < 10; d++ {
+		lo := d * len(s) / 10
+		hi := (d + 1) * len(s) / 10
+		if hi <= lo {
+			continue
+		}
+		var row DecileRow
+		row.Decile = fmt.Sprintf("[%dth,%dth]", d*10, (d+1)*10)
+		for _, w := range s[lo:hi] {
+			row.MeanRefaults += w.BGRefaults
+			row.MeanFPS += w.FPS
+			row.MeanReclaims += w.Reclaims
+		}
+		n := float64(hi - lo)
+		row.MeanRefaults /= n
+		row.MeanFPS /= n
+		row.MeanReclaims /= n
+		rows = append(rows, row)
+	}
+	return rows
+}

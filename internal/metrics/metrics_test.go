@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+func TestFrameRecorderBasics(t *testing.T) {
+	r := NewFrameRecorder(0)
+	r.RecordFrame(0, 10*sim.Millisecond)                  // on time
+	r.RecordFrame(sim.Second, sim.Second+JankThreshold+1) // janky
+	r.RecordDrop(2 * sim.Second)
+	st := r.Snapshot(3 * sim.Second)
+	if st.Completed != 2 || st.Janky != 1 || st.Dropped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.RIA() != 0.5 {
+		t.Fatalf("RIA %v, want 0.5 (1 janky of 2 rendered)", st.RIA())
+	}
+	if st.DropShare() != 1.0/3 {
+		t.Fatalf("DropShare %v", st.DropShare())
+	}
+	if got := st.AvgFPS(); got != 2.0/3 {
+		t.Fatalf("AvgFPS %v", got)
+	}
+}
+
+func TestFrameRecorderSeries(t *testing.T) {
+	r := NewFrameRecorder(0)
+	for i := 0; i < 30; i++ {
+		at := sim.Time(i) * sim.Second / 10 // 10 fps over 3 seconds
+		r.RecordFrame(at, at+5*sim.Millisecond)
+	}
+	st := r.Snapshot(3 * sim.Second)
+	if len(st.FPSSeries) != 3 {
+		t.Fatalf("series length %d", len(st.FPSSeries))
+	}
+	for i, f := range st.FPSSeries {
+		if f != 10 {
+			t.Fatalf("second %d: %v fps", i, f)
+		}
+	}
+}
+
+func TestFrameRecorderReset(t *testing.T) {
+	r := NewFrameRecorder(0)
+	r.RecordFrame(0, 1)
+	r.Reset(10 * sim.Second)
+	st := r.Snapshot(11 * sim.Second)
+	if st.Completed != 0 || st.Window != sim.Second {
+		t.Fatalf("after reset: %+v", st)
+	}
+}
+
+func TestFrameStatsLatencies(t *testing.T) {
+	r := NewFrameRecorder(0)
+	r.RecordFrame(0, 10*sim.Millisecond)
+	r.RecordFrame(0, 20*sim.Millisecond)
+	st := r.Snapshot(sim.Second)
+	if st.AvgLatency != 15*sim.Millisecond {
+		t.Fatalf("avg latency %v", st.AvgLatency)
+	}
+	if st.MaxLatency != 20*sim.Millisecond {
+		t.Fatalf("max latency %v", st.MaxLatency)
+	}
+}
+
+func TestEmptyStatsSafe(t *testing.T) {
+	var st FrameStats
+	if st.RIA() != 0 || st.AvgFPS() != 0 || st.DropShare() != 0 {
+		t.Fatal("zero-value stats not safe")
+	}
+}
+
+func TestLaunchStats(t *testing.T) {
+	var l LaunchStats
+	l.Add(LaunchRecord{App: "a", Cold: true, Latency: 1000})
+	l.Add(LaunchRecord{App: "b", Cold: false, Latency: 200})
+	l.Add(LaunchRecord{App: "c", Cold: false, Latency: 400})
+	cold, hot := l.Count()
+	if cold != 1 || hot != 2 {
+		t.Fatalf("counts %d/%d", cold, hot)
+	}
+	if l.MeanCold() != 1000 {
+		t.Fatalf("mean cold %v", l.MeanCold())
+	}
+	if l.MeanHot() != 300 {
+		t.Fatalf("mean hot %v", l.MeanHot())
+	}
+	if l.Mean(nil) != 1600/3 {
+		t.Fatalf("mean all %v", l.Mean(nil))
+	}
+	l.Reset()
+	if l.Mean(nil) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 {
+		t.Fatal("p0")
+	}
+	if Percentile(xs, 100) != 5 {
+		t.Fatal("p100")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted its input in place")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestDecileBinsOrdering(t *testing.T) {
+	var samples []WindowSample
+	for i := 0; i < 100; i++ {
+		// FPS falls as refaults rise — like Figure 2b.
+		samples = append(samples, WindowSample{
+			BGRefaults: float64(i),
+			FPS:        60 - float64(i)/2,
+			Reclaims:   float64(i) * 2,
+		})
+	}
+	rows := DecileBins(samples)
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanRefaults <= rows[i-1].MeanRefaults {
+			t.Fatal("deciles not sorted by refaults")
+		}
+		if rows[i].MeanFPS >= rows[i-1].MeanFPS {
+			t.Fatal("FPS should fall across deciles in this construction")
+		}
+	}
+	if rows[0].Decile != "[0th,10th]" || rows[9].Decile != "[90th,100th]" {
+		t.Fatalf("labels %s / %s", rows[0].Decile, rows[9].Decile)
+	}
+}
+
+func TestDecileBinsSmallInput(t *testing.T) {
+	if DecileBins(nil) != nil {
+		t.Fatal("nil input")
+	}
+	rows := DecileBins([]WindowSample{{FPS: 1}, {FPS: 2}})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows for 2 samples", len(rows))
+	}
+}
+
+// Property: RIA is always within [0,1] and jank count never exceeds the
+// completed count.
+func TestRIABounds(t *testing.T) {
+	f := func(lat []uint16) bool {
+		r := NewFrameRecorder(0)
+		for _, l := range lat {
+			r.RecordFrame(0, sim.Time(l))
+		}
+		st := r.Snapshot(sim.Second)
+		if st.Janky > st.Completed {
+			return false
+		}
+		ria := st.RIA()
+		return ria >= 0 && ria <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

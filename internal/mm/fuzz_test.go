@@ -1,0 +1,53 @@
+package mm
+
+import "testing"
+
+// FuzzMemoryOps drives the manager with arbitrary operation tapes and
+// checks the accounting invariants after every step. Run with
+// `go test -fuzz FuzzMemoryOps ./internal/mm` for an open-ended search;
+// under plain `go test` the seed corpus executes as regression cases.
+func FuzzMemoryOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0})
+	f.Add([]byte("reclaim-refault-exit"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		_, m := newTestManager(7)
+		pages := map[int][]PageID{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], int(tape[i+1])
+			pid := int(op%4) + 1
+			switch op % 6 {
+			case 0:
+				ids, _ := m.Map(pid, 10000+pid, Class(arg%3), arg%64+1)
+				pages[pid] = append(pages[pid], ids...)
+			case 1:
+				m.ReclaimProcess(pid)
+			case 2:
+				if ids := pages[pid]; len(ids) > 0 {
+					m.Touch(pid, ids[:arg%len(ids)+1])
+				}
+			case 3:
+				m.reclaimPages(arg%48 + 1)
+			case 4:
+				m.ExitProcess(pid)
+				pages[pid] = nil
+			case 5:
+				n := arg%16 + 1
+				m.AllocTransient(n)
+				m.FreeTransient(n)
+			}
+			free := m.FreePages()
+			if free+m.ResidentPages()+m.TransientPages()+m.zramFootprintForTest()+m.cfg.ReservedPages != m.cfg.TotalPages {
+				t.Fatalf("conservation violated at step %d", i)
+			}
+			lc := m.ListCounts()
+			if lc[0]+lc[1]+lc[2]+lc[3] != m.ResidentPages() {
+				t.Fatalf("LRU occupancy mismatch at step %d", i)
+			}
+			st := m.Stats()
+			if st.Total.Refaulted > st.Total.Reclaimed {
+				t.Fatalf("more refaults than reclaims at step %d", i)
+			}
+		}
+	})
+}

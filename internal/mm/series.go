@@ -1,0 +1,56 @@
+package mm
+
+import "github.com/eurosys23/ice/internal/sim"
+
+// SecondBucket is one second of memory activity, used by the per-second
+// timelines in Figures 1–3.
+type SecondBucket struct {
+	Reclaimed uint64
+	Refaulted uint64
+	RefaultFG uint64
+	RefaultBG uint64
+}
+
+// seriesRecorder accumulates per-second buckets relative to the last
+// ResetStats call.
+type seriesRecorder struct {
+	buckets []SecondBucket
+}
+
+func (s *seriesRecorder) reset() { s.buckets = s.buckets[:0] }
+
+func (s *seriesRecorder) bucket(sec int) *SecondBucket {
+	if sec < 0 {
+		sec = 0
+	}
+	for len(s.buckets) <= sec {
+		s.buckets = append(s.buckets, SecondBucket{})
+	}
+	return &s.buckets[sec]
+}
+
+func (s *seriesRecorder) noteReclaim(sec int) { s.bucket(sec).Reclaimed++ }
+
+func (s *seriesRecorder) noteRefault(sec int, fg bool) {
+	b := s.bucket(sec)
+	b.Refaulted++
+	if fg {
+		b.RefaultFG++
+	} else {
+		b.RefaultBG++
+	}
+}
+
+// second maps the current time to a bucket index relative to the last
+// stats reset.
+func (m *Manager) second() int {
+	return int((m.eng.Now() - m.started) / sim.Second)
+}
+
+// Series returns the per-second memory-activity buckets since the last
+// ResetStats. The returned slice is a copy.
+func (m *Manager) Series() []SecondBucket {
+	out := make([]SecondBucket, len(m.series.buckets))
+	copy(out, m.series.buckets)
+	return out
+}

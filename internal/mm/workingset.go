@@ -1,0 +1,89 @@
+package mm
+
+import "fmt"
+
+// DistanceBuckets is the number of power-of-two refault-distance bins.
+const DistanceBuckets = 24
+
+// DistanceHistogram is a log2-bucketed histogram of refault distances:
+// bucket i counts refaults whose distance d satisfies 2^i ≤ d+1 < 2^(i+1).
+// The refault distance — evictions between a page's reclaim and its
+// refault — is the workingset signal the kernel community uses to judge
+// how premature an eviction was ([20] in the paper): small distances mean
+// the page was still hot when reclaimed.
+type DistanceHistogram struct {
+	Buckets [DistanceBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// note records one distance.
+func (h *DistanceHistogram) note(d uint64) {
+	b := 0
+	for v := d + 1; v > 1 && b < DistanceBuckets-1; v >>= 1 {
+		b++
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += d
+}
+
+// Mean returns the average refault distance.
+func (h *DistanceHistogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns the distance below which p∈[0,100] percent of
+// refaults fall, resolved to the upper edge of the matching bucket.
+func (h *DistanceHistogram) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.Count))
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > target {
+			return (uint64(1) << uint(i+1)) - 1
+		}
+	}
+	return ^uint64(0)
+}
+
+// ShortShare returns the fraction of refaults with distance below limit —
+// the "prematurely evicted" share.
+func (h *DistanceHistogram) ShortShare(limit uint64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	var short uint64
+	for i, n := range h.Buckets {
+		upper := (uint64(1) << uint(i+1)) - 1
+		if upper <= limit {
+			short += n
+		}
+	}
+	return float64(short) / float64(h.Count)
+}
+
+// String renders the non-empty buckets.
+func (h *DistanceHistogram) String() string {
+	out := fmt.Sprintf("refault distances: n=%d mean=%.0f p50≤%d p90≤%d\n",
+		h.Count, h.Mean(), h.Percentile(50), h.Percentile(90))
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  <%8d: %d\n", uint64(1)<<uint(i+1), n)
+	}
+	return out
+}
+
+// RefaultDistances returns a copy of the refault-distance histogram
+// accumulated since the last ResetStats.
+func (m *Manager) RefaultDistances() DistanceHistogram {
+	return m.distances
+}

@@ -1,0 +1,264 @@
+// Package policy implements the four management schemes compared in the
+// paper's evaluation (§5.2): the stock LRU+CFS baseline, UCSG's
+// user-centric priority scheduling, Acclaim's foreground-aware memory
+// reclaim, and ICE itself — plus the vendor power-manager freezing of
+// Table 5. Each scheme attaches to a simulated device through the android
+// hook points.
+package policy
+
+import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/android"
+	"github.com/eurosys23/ice/internal/core"
+	"github.com/eurosys23/ice/internal/mm"
+	"github.com/eurosys23/ice/internal/proc"
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// Scheme is a memory/process management policy that can be installed on a
+// system before a workload runs.
+type Scheme interface {
+	Name() string
+	Attach(sys *android.System)
+}
+
+// ByName resolves a scheme by its evaluation name. Valid names: "LRU+CFS",
+// "UCSG", "Acclaim", "Ice", "PowerManager".
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "LRU+CFS", "baseline", "lru+cfs":
+		return Baseline{}, nil
+	case "UCSG", "ucsg":
+		return UCSG{}, nil
+	case "Acclaim", "acclaim":
+		return Acclaim{}, nil
+	case "Ice", "ice", "ICE":
+		return &Ice{Config: core.DefaultConfig()}, nil
+	case "PowerManager", "powermanager", "power":
+		return &PowerManager{}, nil
+	default:
+		return nil, fmt.Errorf("policy: unknown scheme %q", name)
+	}
+}
+
+// Names lists the four headline schemes in figure order.
+func Names() []string { return []string{"LRU+CFS", "UCSG", "Acclaim", "Ice"} }
+
+// ---------- LRU+CFS ----------
+
+// Baseline is the stock configuration: kernel LRU reclaim plus CFS
+// scheduling, with no collaboration between the two. It installs nothing.
+type Baseline struct{}
+
+// Name implements Scheme.
+func (Baseline) Name() string { return "LRU+CFS" }
+
+// Attach implements Scheme.
+func (Baseline) Attach(*android.System) {}
+
+// ---------- UCSG ----------
+
+// UCSG (Tseng et al., DAC'14) treats foreground and background processes
+// differently in the scheduler: processes of the foreground application
+// get elevated priority, background processes are demoted. It changes only
+// scheduling — reclaim remains stock LRU, so refaults fall only as far as
+// background CPU starvation slows the thrashing tasks (the ≈24 % reduction
+// of §6.1).
+type UCSG struct{}
+
+// Priority factors applied to app tasks.
+const (
+	ucsgFGBoost   = 8
+	ucsgBGDemote  = 4
+	ucsgMinWeight = proc.DefaultWeight / ucsgBGDemote
+)
+
+// Name implements Scheme.
+func (UCSG) Name() string { return "UCSG" }
+
+// ucsgBGSpeed is the execution speed of demoted background tasks: UCSG
+// parks them on little cores at low frequency.
+const ucsgBGSpeed = 0.35
+
+// Attach implements Scheme.
+func (UCSG) Attach(sys *android.System) {
+	sys.Sched.SetWeightFn(func(t *proc.Task) int {
+		if t.Proc.Kind != proc.KindApp {
+			return t.Weight
+		}
+		if t.Proc.UID == sys.MM.ForegroundUID() {
+			return t.Weight * ucsgFGBoost
+		}
+		w := t.Weight / ucsgBGDemote
+		if w < ucsgMinWeight {
+			w = ucsgMinWeight
+		}
+		return w
+	})
+	sys.Sched.SetSpeedFn(func(t *proc.Task) float64 {
+		if t.Proc.Kind != proc.KindApp {
+			return 1
+		}
+		if t.Proc.UID == sys.MM.ForegroundUID() {
+			return 1.1 // big-core placement for the user's app
+		}
+		return ucsgBGSpeed
+	})
+}
+
+// ---------- Acclaim ----------
+
+// Acclaim (Liang et al., ATC'20) makes reclaim foreground-aware: pages of
+// the foreground application are avoided during eviction, so background
+// pages are reclaimed first even when they are more active. Foreground
+// refaults drop; background refaults can *increase* — the behaviour the
+// paper observes in Figure 10 (up to +4.3 %).
+type Acclaim struct{}
+
+// Name implements Scheme.
+func (Acclaim) Name() string { return "Acclaim" }
+
+// Attach implements Scheme.
+func (Acclaim) Attach(sys *android.System) {
+	sys.MM.SetEvictionPolicy(fae{})
+}
+
+// fae is Acclaim's foreground-aware eviction policy.
+type fae struct{}
+
+func (fae) Name() string { return "Acclaim-FAE" }
+
+// Protect spares pages of the foreground application from reclaim.
+func (fae) Protect(uid int, _ mm.Class, fgUID int) bool {
+	return fgUID >= 0 && uid == fgUID
+}
+
+// EvictReferenced lets reclaim take even active background pages — the
+// size-sensitive, BG-preferring half of Acclaim's eviction scheme.
+func (fae) EvictReferenced(uid int, fgUID int) bool {
+	return fgUID >= 0 && uid != fgUID
+}
+
+// ---------- Ice ----------
+
+// Ice installs the paper's framework (internal/core) with the given
+// configuration.
+type Ice struct {
+	Config core.Config
+
+	// Framework is populated by Attach for inspection by experiments.
+	Framework *core.Framework
+}
+
+// Name implements Scheme.
+func (*Ice) Name() string { return "Ice" }
+
+// Attach implements Scheme.
+func (i *Ice) Attach(sys *android.System) {
+	i.Framework = core.Attach(sys, i.Config)
+}
+
+// ---------- Vendor power manager ----------
+
+// PowerManager models the power-oriented process freezing shipped by some
+// vendors (§6.2.1, Table 5): it periodically freezes the background
+// applications that consumed the most CPU (energy), on a fixed cycle with
+// no memory awareness, and skips freezing entirely while the device is
+// charging.
+type PowerManager struct {
+	// Charging disables freezing, as observed on some vendors' phones.
+	Charging bool
+	// FreezePeriod/ThawPeriod define the fixed duty cycle.
+	FreezePeriod sim.Time
+	ThawPeriod   sim.Time
+	// MaxTargets is how many energy-hungry apps are frozen per cycle.
+	MaxTargets int
+
+	sys      *android.System
+	frozen   map[int]bool
+	lastCPU  map[int]sim.Time
+	inFreeze bool
+}
+
+// Name implements Scheme.
+func (*PowerManager) Name() string { return "PowerManager" }
+
+// Attach implements Scheme.
+func (p *PowerManager) Attach(sys *android.System) {
+	if p.FreezePeriod <= 0 {
+		p.FreezePeriod = 20 * sim.Second
+	}
+	if p.ThawPeriod <= 0 {
+		p.ThawPeriod = 5 * sim.Second
+	}
+	if p.MaxTargets <= 0 {
+		p.MaxTargets = 3
+	}
+	p.sys = sys
+	p.frozen = make(map[int]bool)
+	p.lastCPU = make(map[int]sim.Time)
+	sys.Hooks.AppLaunch = append(sys.Hooks.AppLaunch, func(in *android.Instance) {
+		if p.frozen[in.UID] {
+			delete(p.frozen, in.UID)
+			sys.ThawApp(in.UID)
+		}
+	})
+	p.freezeCycle()
+}
+
+func (p *PowerManager) freezeCycle() {
+	p.inFreeze = true
+	if !p.Charging {
+		p.freezeHungriest()
+	}
+	p.sys.Eng.After(p.FreezePeriod, p.thawCycle)
+}
+
+func (p *PowerManager) thawCycle() {
+	p.inFreeze = false
+	for uid := range p.frozen {
+		p.sys.ThawApp(uid)
+		delete(p.frozen, uid)
+	}
+	p.sys.Eng.After(p.ThawPeriod, p.freezeCycle)
+}
+
+// freezeHungriest freezes the cached apps with the highest CPU consumption
+// since the last cycle — an energy heuristic, deliberately blind to memory
+// pressure and refaults.
+func (p *PowerManager) freezeHungriest() {
+	type cand struct {
+		in    *android.Instance
+		delta sim.Time
+	}
+	var cands []cand
+	for _, in := range p.sys.AM.Apps() {
+		if in.State() != android.StateCached || !in.Running() || in.Spec.Perceptible {
+			continue
+		}
+		var cpu sim.Time
+		for _, pr := range in.Processes() {
+			cpu += pr.TotalCPU()
+		}
+		delta := cpu - p.lastCPU[in.UID]
+		p.lastCPU[in.UID] = cpu
+		cands = append(cands, cand{in, delta})
+	}
+	// Selection sort for the top MaxTargets (tiny N).
+	for i := 0; i < len(cands) && i < p.MaxTargets; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].delta > cands[best].delta {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+		if cands[i].delta <= 0 {
+			break
+		}
+		uid := cands[i].in.UID
+		p.sys.FreezeApp(uid)
+		p.frozen[uid] = true
+	}
+}

@@ -1,0 +1,115 @@
+// Package predict implements a lightweight application-usage predictor:
+// a first-order Markov chain over the app-switch history, in the spirit of
+// the prediction systems the paper cites ([6] Chu et al., [52] Parate et
+// al.) when it notes that ICE's hot-launch penalty "can be further
+// eliminated by using it in combination with application prediction. If a
+// BG application is predicted as the next used application, Ice can thaw
+// it ahead of time" (§6.3.1).
+//
+// The predictor is deliberately cheap — the paper dismisses heavyweight
+// learned models for the freezing decision itself ("the overhead to
+// maintain the machine learning model is high"), but a transition table is
+// fine for an advisory pre-thaw hint.
+package predict
+
+// Markov is a first-order app-switch predictor. Keys are application UIDs.
+type Markov struct {
+	// counts[a][b] = times b followed a.
+	counts map[int]map[int]int
+	// last is the most recent foreground app.
+	last int
+	// hasLast marks whether any observation exists.
+	hasLast bool
+
+	// Observations counts recorded transitions.
+	Observations int
+}
+
+// NewMarkov returns an empty predictor.
+func NewMarkov() *Markov {
+	return &Markov{counts: make(map[int]map[int]int), last: -1}
+}
+
+// Observe records that uid just became the foreground application.
+func (m *Markov) Observe(uid int) {
+	if m.hasLast && m.last != uid {
+		row := m.counts[m.last]
+		if row == nil {
+			row = make(map[int]int)
+			m.counts[m.last] = row
+		}
+		row[uid]++
+		m.Observations++
+	}
+	m.last = uid
+	m.hasLast = true
+}
+
+// Predict returns the most likely next foreground UID given the current
+// one, with its empirical probability. ok is false when there is no data
+// for the current app.
+func (m *Markov) Predict() (uid int, p float64, ok bool) {
+	if !m.hasLast {
+		return 0, 0, false
+	}
+	row := m.counts[m.last]
+	if len(row) == 0 {
+		return 0, 0, false
+	}
+	total, best, bestN := 0, 0, -1
+	for next, n := range row {
+		total += n
+		if n > bestN || (n == bestN && next < best) {
+			best, bestN = next, n
+		}
+	}
+	return best, float64(bestN) / float64(total), true
+}
+
+// TopK returns up to k likely successors of the current app, most likely
+// first (ties broken by UID for determinism).
+func (m *Markov) TopK(k int) []int {
+	if !m.hasLast || k <= 0 {
+		return nil
+	}
+	row := m.counts[m.last]
+	out := make([]int, 0, k)
+	used := make(map[int]bool)
+	for len(out) < k {
+		best, bestN := -1, -1
+		for next, n := range row {
+			if used[next] {
+				continue
+			}
+			if n > bestN || (n == bestN && next < best) {
+				best, bestN = next, n
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// Accuracy replays a sequence of foreground switches and reports the
+// fraction the predictor would have got right one step ahead. The
+// predictor's state is left as if the sequence had been observed.
+func (m *Markov) Accuracy(sequence []int) float64 {
+	var hits, total int
+	for _, uid := range sequence {
+		if pred, _, ok := m.Predict(); ok {
+			total++
+			if pred == uid {
+				hits++
+			}
+		}
+		m.Observe(uid)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

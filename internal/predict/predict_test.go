@@ -1,0 +1,115 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictNoData(t *testing.T) {
+	m := NewMarkov()
+	if _, _, ok := m.Predict(); ok {
+		t.Fatal("prediction from no data")
+	}
+	m.Observe(1)
+	if _, _, ok := m.Predict(); ok {
+		t.Fatal("prediction after a single observation")
+	}
+}
+
+func TestPredictLearnsTransitions(t *testing.T) {
+	m := NewMarkov()
+	// 1 → 2 three times, 1 → 3 once.
+	for _, seq := range [][]int{{1, 2}, {1, 2}, {1, 2}, {1, 3}} {
+		for _, uid := range seq {
+			m.Observe(uid)
+		}
+	}
+	m.Observe(1)
+	next, p, ok := m.Predict()
+	if !ok || next != 2 {
+		t.Fatalf("predicted %d (ok=%v), want 2", next, ok)
+	}
+	if p != 0.75 {
+		t.Fatalf("probability %v, want 0.75", p)
+	}
+}
+
+func TestSelfTransitionsIgnored(t *testing.T) {
+	m := NewMarkov()
+	for i := 0; i < 5; i++ {
+		m.Observe(7) // re-foregrounding the same app is not a switch
+	}
+	if m.Observations != 0 {
+		t.Fatalf("%d observations from self-transitions", m.Observations)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	m := NewMarkov()
+	for _, next := range []int{2, 2, 2, 3, 3, 4} {
+		m.Observe(1)
+		m.Observe(next)
+	}
+	m.Observe(1)
+	top := m.TopK(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 3 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := m.TopK(10); len(got) != 3 {
+		t.Fatalf("TopK(10) = %v", got)
+	}
+	if m.TopK(0) != nil {
+		t.Fatal("TopK(0) should be nil")
+	}
+}
+
+func TestAccuracyOnCyclicPattern(t *testing.T) {
+	m := NewMarkov()
+	var seq []int
+	for i := 0; i < 30; i++ {
+		seq = append(seq, 1, 2, 3)
+	}
+	acc := m.Accuracy(seq)
+	// After warming up, a strict cycle is fully predictable.
+	if acc < 0.8 {
+		t.Fatalf("accuracy %v on a cyclic pattern", acc)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if NewMarkov().Accuracy(nil) != 0 {
+		t.Fatal("accuracy of nothing")
+	}
+}
+
+// Property: prediction probability is always in (0, 1], and the predicted
+// UID was actually observed as a successor.
+func TestPredictionSane(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m := NewMarkov()
+		successors := map[int]map[int]bool{}
+		last, hasLast := 0, false
+		for _, v := range seq {
+			uid := int(v % 5)
+			if hasLast && last != uid {
+				if successors[last] == nil {
+					successors[last] = map[int]bool{}
+				}
+				successors[last][uid] = true
+			}
+			m.Observe(uid)
+			last, hasLast = uid, true
+		}
+		next, p, ok := m.Predict()
+		if !ok {
+			return true
+		}
+		if p <= 0 || p > 1 {
+			return false
+		}
+		return successors[last][next]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

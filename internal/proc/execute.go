@@ -1,0 +1,44 @@
+package proc
+
+import "github.com/eurosys23/ice/internal/sim"
+
+// Execute runs the task for up to budget CPU time starting at now, working
+// through its queue. It returns the CPU consumed and, if a work item's
+// memory phase blocked on I/O, the absolute time the task must sleep until
+// (zero otherwise). The scheduler arranges the wake-up.
+func (t *Task) Execute(now sim.Time, budget sim.Time) (used sim.Time, blockedUntil sim.Time) {
+	for used < budget {
+		w := t.Current()
+		if w == nil {
+			break
+		}
+		if !w.setupDone {
+			w.setupDone = true
+			if w.Setup != nil {
+				stall, blockUntil := w.Setup()
+				// Synchronous stalls (fault handling, decompression, lock
+				// waits, direct reclaim) burn the task's CPU time.
+				w.remaining += stall
+				if blockUntil > now+used {
+					t.Block()
+					t.CPUTime += used
+					return used, blockUntil
+				}
+			}
+		}
+		run := w.remaining
+		if run > budget-used {
+			run = budget - used
+		}
+		w.remaining -= run
+		used += run
+		if w.remaining <= 0 {
+			t.FinishCurrent()
+			if w.OnDone != nil {
+				w.OnDone(w.posted, now+used)
+			}
+		}
+	}
+	t.CPUTime += used
+	return used, 0
+}

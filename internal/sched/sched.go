@@ -1,0 +1,322 @@
+// Package sched is a simplified CFS (completely fair scheduler) over N
+// identical cores. Runnable tasks are picked by minimum weighted virtual
+// runtime each 1 ms quantum. The scheduler is demand-driven: it only ticks
+// while work exists, and must be kicked when tasks become runnable.
+//
+// The baseline evaluated in the paper is "LRU+CFS"; UCSG's user-centric
+// scheduling is expressed by boosting the weights of foreground tasks (see
+// internal/policy).
+package sched
+
+import (
+	"sort"
+
+	"github.com/eurosys23/ice/internal/proc"
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// Quantum is the scheduling tick length.
+const Quantum = sim.Millisecond
+
+// CPUClass buckets CPU consumption for the utilisation analyses
+// (Table 1, §6.2.2).
+type CPUClass int
+
+// CPU consumption classes.
+const (
+	CPUKernel CPUClass = iota
+	CPUService
+	CPUForegroundApp
+	CPUBackgroundApp
+	numCPUClasses
+)
+
+// Stats aggregates scheduler activity since the last reset.
+type Stats struct {
+	// Busy is CPU time consumed per class.
+	Busy [numCPUClasses]sim.Time
+	// Window is the wall time covered.
+	Window sim.Time
+	// Cores is the core count, for utilisation computation.
+	Cores int
+	// BusyPerSecond is the per-second total busy time, for peak
+	// utilisation.
+	BusyPerSecond []sim.Time
+}
+
+// TotalBusy sums across classes.
+func (s Stats) TotalBusy() sim.Time {
+	var t sim.Time
+	for _, b := range s.Busy {
+		t += b
+	}
+	return t
+}
+
+// Utilization returns average CPU utilisation in [0,1].
+func (s Stats) Utilization() float64 {
+	if s.Window <= 0 || s.Cores == 0 {
+		return 0
+	}
+	return float64(s.TotalBusy()) / (float64(s.Window) * float64(s.Cores))
+}
+
+// PeakUtilization returns the highest single-second utilisation. The last
+// (possibly partial) second is normalised by its actual length.
+func (s Stats) PeakUtilization() float64 {
+	if s.Cores == 0 {
+		return 0
+	}
+	var peak float64
+	for i, b := range s.BusyPerSecond {
+		span := s.Window - sim.Time(i)*sim.Second
+		if span > sim.Second {
+			span = sim.Second
+		}
+		if span <= 0 {
+			break
+		}
+		u := float64(b) / (float64(span) * float64(s.Cores))
+		if u > peak {
+			peak = u
+		}
+	}
+	return peak
+}
+
+// Scheduler multiplexes tasks over cores.
+type Scheduler struct {
+	eng    *sim.Engine
+	cores  int
+	fgUID  int
+	weight func(*proc.Task) int
+	speed  func(*proc.Task) float64
+
+	tasks []*proc.Task
+
+	tickArmed   bool
+	nextAllowed sim.Time
+	minV        int64
+
+	busy       [numCPUClasses]sim.Time
+	busyPerSec []sim.Time
+	started    sim.Time
+
+	// scratch avoids per-tick allocation.
+	scratch []*proc.Task
+}
+
+// New creates a scheduler with the given core count.
+func New(eng *sim.Engine, cores int) *Scheduler {
+	if cores <= 0 {
+		panic("sched: non-positive core count")
+	}
+	s := &Scheduler{eng: eng, cores: cores, fgUID: -1}
+	s.weight = func(t *proc.Task) int { return t.Weight }
+	s.speed = func(*proc.Task) float64 { return 1 }
+	return s
+}
+
+// SetSpeedFn installs a per-task execution-speed policy in (0, ~1.5]: a
+// task at speed 0.4 occupies a core for a full quantum but completes only
+// 40 % of a quantum's work — how core placement and frequency capping
+// (e.g. UCSG pinning background tasks to slow cores) are modelled. nil
+// restores uniform speed 1.
+func (s *Scheduler) SetSpeedFn(fn func(*proc.Task) float64) {
+	if fn == nil {
+		fn = func(*proc.Task) float64 { return 1 }
+	}
+	s.speed = fn
+}
+
+// Cores returns the core count.
+func (s *Scheduler) Cores() int { return s.cores }
+
+// Register adds a task to the scheduler's purview. Tasks are never removed;
+// dead processes simply stop being runnable.
+func (s *Scheduler) Register(t *proc.Task) {
+	s.tasks = append(s.tasks, t)
+}
+
+// SetForegroundUID tells the scheduler which UID is foreground, for CPU
+// accounting (and for weight policies that consult it).
+func (s *Scheduler) SetForegroundUID(uid int) { s.fgUID = uid }
+
+// SetWeightFn installs an effective-weight policy (UCSG). nil restores the
+// default (the task's own weight).
+func (s *Scheduler) SetWeightFn(fn func(*proc.Task) int) {
+	if fn == nil {
+		fn = func(t *proc.Task) int { return t.Weight }
+	}
+	s.weight = fn
+}
+
+// ResetStats zeroes CPU accounting.
+func (s *Scheduler) ResetStats() {
+	s.busy = [numCPUClasses]sim.Time{}
+	s.busyPerSec = s.busyPerSec[:0]
+	s.started = s.eng.Now()
+}
+
+// Stats returns a snapshot of the accumulated CPU accounting.
+func (s *Scheduler) Stats() Stats {
+	st := Stats{
+		Busy:   s.busy,
+		Window: s.eng.Now() - s.started,
+		Cores:  s.cores,
+	}
+	st.BusyPerSecond = append(st.BusyPerSecond, s.busyPerSec...)
+	return st
+}
+
+// Kick ensures a scheduling tick is pending. Call after making any task
+// runnable (posting work, unblocking, thawing).
+func (s *Scheduler) Kick() {
+	if s.tickArmed {
+		return
+	}
+	s.tickArmed = true
+	s.eng.After(0, s.tick)
+}
+
+// Post enqueues work on t and kicks the scheduler. This is the preferred
+// way for the framework and application models to submit work.
+func (s *Scheduler) Post(t *proc.Task, w *proc.Work) bool {
+	ok := t.Post(s.eng.Now(), w)
+	if ok {
+		s.Kick()
+	}
+	return ok
+}
+
+func (s *Scheduler) classify(t *proc.Task) CPUClass {
+	switch t.Proc.Kind {
+	case proc.KindKernel:
+		return CPUKernel
+	case proc.KindService:
+		return CPUService
+	default:
+		if t.Proc.UID == s.fgUID {
+			return CPUForegroundApp
+		}
+		return CPUBackgroundApp
+	}
+}
+
+func (s *Scheduler) noteBusy(class CPUClass, used sim.Time) {
+	s.busy[class] += used
+	sec := int((s.eng.Now() - s.started) / sim.Second)
+	if sec < 0 {
+		sec = 0
+	}
+	for len(s.busyPerSec) <= sec {
+		s.busyPerSec = append(s.busyPerSec, 0)
+	}
+	s.busyPerSec[sec] += used
+}
+
+// wakeupBonus places freshly runnable tasks slightly ahead of the pack,
+// approximating CFS's sleeper fairness.
+const wakeupBonus = int64(3 * sim.Millisecond)
+
+// tick runs one scheduling round: pick up to cores runnable tasks by
+// minimum virtual runtime, give each a quantum, and re-arm if anything is
+// still runnable.
+func (s *Scheduler) tick() {
+	now := s.eng.Now()
+
+	// At most one execution round per quantum: work posted mid-round (e.g.
+	// by an OnDone callback) must wait for the next boundary, otherwise a
+	// single instant could dispense unbounded CPU. tickArmed stays true
+	// throughout: Kicks issued while executing must not enqueue duplicate
+	// tick events.
+	if now < s.nextAllowed {
+		s.eng.At(s.nextAllowed, s.tick)
+		return
+	}
+	s.nextAllowed = now + Quantum
+
+	runnable := s.scratch[:0]
+	for _, t := range s.tasks {
+		if t.Runnable(now) {
+			runnable = append(runnable, t)
+		}
+	}
+	s.scratch = runnable
+
+	if len(runnable) == 0 {
+		s.tickArmed = false
+		return
+	}
+
+	// Normalise virtual runtimes so long sleepers don't monopolise cores.
+	min := runnable[0].VRuntime
+	for _, t := range runnable[1:] {
+		if t.VRuntime < min {
+			min = t.VRuntime
+		}
+	}
+	if min > s.minV {
+		s.minV = min
+	}
+	floor := s.minV - wakeupBonus
+	for _, t := range runnable {
+		if t.VRuntime < floor {
+			t.VRuntime = floor
+		}
+	}
+
+	sort.Slice(runnable, func(i, j int) bool {
+		if runnable[i].VRuntime != runnable[j].VRuntime {
+			return runnable[i].VRuntime < runnable[j].VRuntime
+		}
+		return runnable[i].TID < runnable[j].TID
+	})
+
+	n := len(runnable)
+	if n > s.cores {
+		n = s.cores
+	}
+	for _, t := range runnable[:n] {
+		speed := s.speed(t)
+		if speed <= 0 {
+			speed = 1
+		}
+		workBudget := sim.Time(float64(Quantum) * speed)
+		if workBudget < 1 {
+			workBudget = 1
+		}
+		used, blockedUntil := t.Execute(now, workBudget)
+		if used > 0 {
+			// Core occupancy is the work done divided by the speed: a slow
+			// task burns full quanta to make partial progress.
+			coreTime := sim.Time(float64(used) / speed)
+			if coreTime > Quantum {
+				coreTime = Quantum
+			}
+			w := s.weight(t)
+			if w <= 0 {
+				w = proc.DefaultWeight
+			}
+			t.VRuntime += int64(coreTime) * proc.DefaultWeight / int64(w)
+			s.noteBusy(s.classify(t), coreTime)
+		}
+		if blockedUntil > 0 {
+			task := t
+			s.eng.At(blockedUntil, func() {
+				task.Unblock()
+				s.Kick()
+			})
+		}
+	}
+
+	// Re-arm while anything can still run; otherwise disarm so the next
+	// Kick restarts the loop.
+	for _, t := range s.tasks {
+		if t.Runnable(now) {
+			s.eng.At(s.nextAllowed, s.tick)
+			return
+		}
+	}
+	s.tickArmed = false
+}

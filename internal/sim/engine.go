@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events at equal times dispatch in
+// scheduling order (seq), which keeps the simulation deterministic.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. It owns the virtual clock,
+// the pending-event heap and the root PRNG. An Engine is not safe for
+// concurrent use: the whole simulation is single-threaded by design so that
+// results are reproducible.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	rng  *Rand
+
+	dispatched uint64
+}
+
+// NewEngine returns an engine at time zero with a PRNG seeded by seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's root PRNG. Components that need their own stream
+// should call Rand().Split() once at construction.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Dispatched reports how many events have run so far; useful for tests and
+// for sanity-checking experiment cost.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{when: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run now+d, now+2d, ... until fn returns false.
+func (e *Engine) Every(d Time, fn func() bool) {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(d, tick)
+		}
+	}
+	e.After(d, tick)
+}
+
+// Step dispatches the next pending event, advancing the clock to its time.
+// It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.when
+	e.dispatched++
+	ev.fn()
+	return true
+}
+
+// RunUntil dispatches events until the clock reaches t (events scheduled
+// exactly at t still run). Pending events beyond t remain queued and the
+// clock lands exactly on t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].when <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Drain runs every pending event. It panics after maxEvents dispatches as a
+// guard against runaway self-rescheduling loops.
+func (e *Engine) Drain(maxEvents uint64) {
+	start := e.dispatched
+	for e.Step() {
+		if e.dispatched-start > maxEvents {
+			panic("sim: Drain exceeded event budget")
+		}
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }

@@ -1,0 +1,190 @@
+package sim
+
+import "math"
+
+// Rand is a small, self-contained deterministic pseudo-random number
+// generator (xoshiro256**). It is reproducible across Go releases, unlike
+// math/rand whose stream is only stable per version, which matters because
+// the test suite asserts on simulation outcomes.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from seed via splitmix64, following the
+// reference initialisation for xoshiro generators.
+func NewRand(seed int64) *Rand {
+	r := &Rand{}
+	x := uint64(seed)
+	for i := range r.s {
+		// splitmix64 step.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from r. It is used to hand each
+// simulated entity (user, app, round) its own stream so that adding a
+// consumer does not perturb the draws seen by others.
+func (r *Rand) Split() *Rand {
+	return NewRand(int64(r.Uint64()))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n called with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Duration returns a uniformly distributed Time in [lo, hi].
+func (r *Rand) Duration(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Int63n(int64(hi-lo)+1))
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return -mean * math.Log(u)
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac], never
+// negative. It is the workhorse for adding realistic variance to modelled
+// CPU and I/O costs.
+func (r *Rand) Jitter(d Time, frac float64) Time {
+	f := 1 + frac*(2*r.Float64()-1)
+	v := Time(float64(d) * f)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Pick returns a pseudo-random element index weighted by w. The weights must
+// be non-negative and not all zero.
+func (r *Rand) Pick(w []float64) int {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		panic("sim: Pick with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, v := range w {
+		x -= v
+		if x < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Zipf returns a value in [0, n) following a Zipf-like distribution with
+// exponent s (larger s skews harder toward small indices). It uses a simple
+// inverse-CDF over precomputed weights for small n, which is all the
+// workload models need.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf constructs a Zipf sampler over n ranks with exponent s.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Next draws the next rank.
+func (z *Zipf) Next() int {
+	x := z.r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

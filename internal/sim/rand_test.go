@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandSplitIndependent(t *testing.T) {
+	a := NewRand(5)
+	b := a.Split()
+	// Drawing from b must not change what a produces next relative to a
+	// clone that split the same way.
+	c := NewRand(5)
+	d := c.Split()
+	_ = d
+	for i := 0; i < 10; i++ {
+		b.Uint64()
+	}
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("Split consumption leaked into the parent stream")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean %v, want ≈0.5", mean)
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(13)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	r := NewRand(17)
+	var sum, sumSq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Normal mean %v, want ≈10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("Normal stddev %v, want ≈2", math.Sqrt(variance))
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(19)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.15 {
+		t.Fatalf("Exp mean %v, want ≈5", mean)
+	}
+}
+
+func TestRandJitterBounds(t *testing.T) {
+	r := NewRand(23)
+	base := Time(1000)
+	for i := 0; i < 10000; i++ {
+		v := r.Jitter(base, 0.25)
+		if v < 750 || v > 1250 {
+			t.Fatalf("Jitter(1000, 0.25) = %v", v)
+		}
+	}
+}
+
+func TestRandJitterNeverNegative(t *testing.T) {
+	r := NewRand(29)
+	for i := 0; i < 1000; i++ {
+		if v := r.Jitter(10, 5); v < 0 {
+			t.Fatalf("Jitter went negative: %v", v)
+		}
+	}
+}
+
+func TestRandDurationRange(t *testing.T) {
+	r := NewRand(31)
+	for i := 0; i < 1000; i++ {
+		v := r.Duration(100, 200)
+		if v < 100 || v > 200 {
+			t.Fatalf("Duration out of range: %v", v)
+		}
+	}
+	if r.Duration(200, 100) != 200 {
+		t.Fatal("inverted Duration bounds should return lo")
+	}
+}
+
+// Property: Perm always returns a permutation.
+func TestRandPermIsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRand(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandPickWeighted(t *testing.T) {
+	r := NewRand(37)
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	if f := float64(counts[2]) / n; math.Abs(f-0.7) > 0.02 {
+		t.Fatalf("Pick weight-7 fraction %v, want ≈0.7", f)
+	}
+	if f := float64(counts[0]) / n; math.Abs(f-0.1) > 0.02 {
+		t.Fatalf("Pick weight-1 fraction %v, want ≈0.1", f)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(41)
+	z := NewZipf(r, 10, 1.0)
+	counts := make([]int, 10)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 10 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("Zipf not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+	// Rank 0 should roughly double rank 1 under s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("Zipf rank0/rank1 ratio %v, want ≈2", ratio)
+	}
+}

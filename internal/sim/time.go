@@ -1,0 +1,50 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other subsystem in this repository: a virtual clock, an event heap, and a
+// deterministic pseudo-random number generator.
+//
+// All simulated components (the memory manager, the scheduler, the storage
+// device, the ICE daemon, ...) share one Engine. Time is virtual and only
+// advances when the engine dispatches the next pending event, so simulations
+// are fully deterministic for a given seed and run as fast as the host CPU
+// allows.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in microseconds since the start
+// of the simulation. A separate type (rather than time.Duration) keeps the
+// simulation clock visibly distinct from host wall-clock time.
+type Time int64
+
+// Common durations expressed in simulation time.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// String formats the time with an adaptive unit, e.g. "1.500s" or "250µs".
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", int64(t))
+	}
+}
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts a floating-point number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts a floating-point number of milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }

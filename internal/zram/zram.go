@@ -1,0 +1,152 @@
+// Package zram models the compressed in-memory swap device Android uses for
+// anonymous pages. When the memory manager reclaims an anonymous page its
+// contents are compressed and stored here; a later refault decompresses it
+// back. The store itself consumes physical memory equal to the compressed
+// size, which the memory manager accounts for.
+package zram
+
+import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// Config describes a ZRAM partition. Capacity is expressed in *uncompressed*
+// simulated pages, matching the paper's S^g/S^h parameters (512 MB and
+// 1024 MB partitions that bound "how many anonymous pages can be reclaimed
+// at the maximum").
+type Config struct {
+	// CapacityPages is the maximum number of logical (uncompressed) pages
+	// the partition may hold.
+	CapacityPages int
+	// JavaRatio and NativeRatio are the compression ratios applied to pages
+	// from the Java heap and the native heap. Java object graphs compress
+	// better than malloc'd native data.
+	JavaRatio   float64
+	NativeRatio float64
+	// CompressLatency / DecompressLatency are the CPU cost per page. The
+	// compressor charges the reclaiming task; the decompressor charges the
+	// faulting task.
+	CompressLatency   sim.Time
+	DecompressLatency sim.Time
+}
+
+// DefaultConfig returns the model used for both devices, sized by capacity.
+func DefaultConfig(capacityPages int) Config {
+	return Config{
+		CapacityPages:     capacityPages,
+		JavaRatio:         2.8,
+		NativeRatio:       2.2,
+		CompressLatency:   120 * sim.Microsecond,
+		DecompressLatency: 70 * sim.Microsecond,
+	}
+}
+
+// Stats aggregates ZRAM activity.
+type Stats struct {
+	StoredTotal    uint64 // pages ever stored
+	LoadedTotal    uint64 // pages ever decompressed back
+	RejectedFull   uint64 // store attempts rejected for lack of capacity
+	CompressTime   sim.Time
+	DecompressTime sim.Time
+}
+
+// Zram is a simulated compressed swap partition.
+type Zram struct {
+	cfg Config
+
+	// stored counts logical pages currently held.
+	stored int
+	// compressedPages is the physical footprint of the store, in fractional
+	// pages (sum of 1/ratio per stored page).
+	compressedPages float64
+
+	stats Stats
+}
+
+// New creates a ZRAM partition.
+func New(cfg Config) *Zram {
+	if cfg.CapacityPages <= 0 {
+		panic(fmt.Sprintf("zram: non-positive capacity %d", cfg.CapacityPages))
+	}
+	if cfg.JavaRatio <= 1 || cfg.NativeRatio <= 1 {
+		panic("zram: compression ratios must exceed 1")
+	}
+	return &Zram{cfg: cfg}
+}
+
+// Config returns the partition configuration.
+func (z *Zram) Config() Config { return z.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (z *Zram) Stats() Stats { return z.stats }
+
+// ResetStats zeroes the statistics (contents are preserved).
+func (z *Zram) ResetStats() { z.stats = Stats{} }
+
+// Stored reports the number of logical pages currently held.
+func (z *Zram) Stored() int { return z.stored }
+
+// FootprintPages reports the physical memory the store occupies, rounded up
+// to whole pages. The memory manager subtracts this from free memory.
+func (z *Zram) FootprintPages() int {
+	f := int(z.compressedPages)
+	if z.compressedPages > float64(f) {
+		f++
+	}
+	return f
+}
+
+// Full reports whether another page can be accepted.
+func (z *Zram) Full() bool { return z.stored >= z.cfg.CapacityPages }
+
+func (z *Zram) ratio(java bool) float64 {
+	if java {
+		return z.cfg.JavaRatio
+	}
+	return z.cfg.NativeRatio
+}
+
+// Store compresses one page into the partition. It returns the CPU cost to
+// charge the reclaimer and ok=false if the partition is full (the page then
+// cannot be reclaimed to ZRAM).
+func (z *Zram) Store(java bool) (cost sim.Time, ok bool) {
+	if z.Full() {
+		z.stats.RejectedFull++
+		return 0, false
+	}
+	z.stored++
+	z.compressedPages += 1 / z.ratio(java)
+	z.stats.StoredTotal++
+	z.stats.CompressTime += z.cfg.CompressLatency
+	return z.cfg.CompressLatency, true
+}
+
+// Load decompresses one page out of the partition (a refault) and frees its
+// slot. It returns the CPU stall to charge the faulting task.
+func (z *Zram) Load(java bool) sim.Time {
+	if z.stored <= 0 {
+		panic("zram: Load on empty partition")
+	}
+	z.stored--
+	z.compressedPages -= 1 / z.ratio(java)
+	if z.compressedPages < 0 {
+		z.compressedPages = 0
+	}
+	z.stats.LoadedTotal++
+	z.stats.DecompressTime += z.cfg.DecompressLatency
+	return z.cfg.DecompressLatency
+}
+
+// Drop discards one stored page without decompressing it (the owning
+// process died and its swap slots are freed).
+func (z *Zram) Drop(java bool) {
+	if z.stored <= 0 {
+		panic("zram: Drop on empty partition")
+	}
+	z.stored--
+	z.compressedPages -= 1 / z.ratio(java)
+	if z.compressedPages < 0 {
+		z.compressedPages = 0
+	}
+}
