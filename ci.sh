@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's tier-1 gate plus hygiene checks:
+#   gofmt (no unformatted files), go vet, build, and the full test
+#   suite under the race detector (the harness worker pool must stay
+#   race-free at any -workers setting).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

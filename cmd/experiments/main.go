@@ -3,12 +3,20 @@
 //
 // Usage:
 //
-//	experiments -run all            # everything (slow, full fidelity)
-//	experiments -run fig8 -fast     # one experiment, reduced scale
-//	experiments -list               # enumerate experiment IDs
+//	experiments -run all              # everything (slow, full fidelity)
+//	experiments -run fig8 -fast       # one experiment, reduced scale
+//	experiments -run fig8 -workers 4  # at most 4 simulations in flight
+//	experiments -progress             # live completed/total + ETA on stderr
+//	experiments -list                 # enumerate experiment IDs
 //
 // Experiment IDs: table1, fig1, fig2a, fig2b, fig3, fig4, fig8, fig9,
 // fig10, table5, pressure, fig11, ablations.
+//
+// Every experiment executes its cell matrix through internal/harness: a
+// bounded worker pool (default GOMAXPROCS) with per-cell seeds, timing
+// and panic isolation. A failed cell renders as a structured error (and
+// a JSON error object under -json) instead of a bare stack trace, and
+// the process exits non-zero.
 package main
 
 import (
@@ -20,84 +28,88 @@ import (
 	"time"
 
 	"github.com/eurosys23/ice/internal/experiments"
+	"github.com/eurosys23/ice/internal/harness"
 )
 
 type runner struct {
 	id   string
 	desc string
-	run  func(experiments.Options) string
-	// data returns the structured result for -json output.
-	data func(experiments.Options) interface{}
+	// exec runs the experiment and returns its paper-style renderer
+	// plus the structured result for -json output.
+	exec func(experiments.Options) (func() string, interface{}, error)
 }
 
 func runners() []runner {
 	return []runner{
-		{"table1", "CPU utilisation vs cached BG apps", func(o experiments.Options) string {
-			return experiments.Table1(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Table1(o)
+		{"table1", "CPU utilisation vs cached BG apps", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Table1(o)
+			return r.String, r, err
 		}},
-		{"fig1", "FPS per scenario and BG case", func(o experiments.Options) string {
-			return experiments.Figure1(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure1(o)
+		{"fig1", "FPS per scenario and BG case", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure1(o)
+			return r.String, r, err
 		}},
-		{"fig2a", "reclaim/refault totals per BG case", func(o experiments.Options) string {
-			return experiments.Figure1(o).Figure2aString()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure1(o)
+		{"fig2a", "reclaim/refault totals per BG case", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure1(o)
+			return r.Figure2aString, r, err
 		}},
-		{"fig2b", "frame rate vs BG-refault deciles", func(o experiments.Options) string {
-			return experiments.Figure2b(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure2b(o)
+		{"fig2b", "frame rate vs BG-refault deciles", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure2b(o)
+			return r.String, r, err
 		}},
-		{"fig3", "user study: refault ratio and BG share", func(o experiments.Options) string {
-			return experiments.Figure3(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure3(o)
+		{"fig3", "user study: refault ratio and BG share", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure3(o)
+			return r.String, r, err
 		}},
-		{"fig4", "per-process reclaim refault categorisation", func(o experiments.Options) string {
-			return experiments.Figure4(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure4(o)
+		{"fig4", "per-process reclaim refault categorisation", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure4(o)
+			return r.String, r, err
 		}},
-		{"fig8", "FPS/RIA per scheme, scenario, device", func(o experiments.Options) string {
-			return experiments.Figure8(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure8(o)
+		{"fig8", "FPS/RIA per scheme, scenario, device", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure8(o)
+			return r.String, r, err
 		}},
-		{"fig9", "FPS/RIA vs number of cached apps", func(o experiments.Options) string {
-			return experiments.Figure9(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure9(o)
+		{"fig9", "FPS/RIA vs number of cached apps", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure9(o)
+			return r.String, r, err
 		}},
-		{"fig10", "refault/reclaim per scheme", func(o experiments.Options) string {
-			return experiments.Figure10(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure10(o)
+		{"fig10", "refault/reclaim per scheme", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure10(o)
+			return r.String, r, err
 		}},
-		{"table5", "power-manager freezing vs Ice", func(o experiments.Options) string {
-			return experiments.Figure10(o).Table5String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure10(o)
+		{"table5", "power-manager freezing vs Ice", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure10(o)
+			return r.Table5String, r, err
 		}},
-		{"pressure", "I/O and CPU pressure reduction", func(o experiments.Options) string {
-			return experiments.SystemPressure(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.SystemPressure(o)
+		{"pressure", "I/O and CPU pressure reduction", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.SystemPressure(o)
+			return r.String, r, err
 		}},
-		{"fig11", "application launching (speed, hot-launch ratio)", func(o experiments.Options) string {
-			return experiments.Figure11(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Figure11(o)
+		{"fig11", "application launching (speed, hot-launch ratio)", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Figure11(o)
+			return r.String, r, err
 		}},
-		{"ablations", "ICE design-point ablations", func(o experiments.Options) string {
-			return experiments.Ablations(o).String()
-		}, func(o experiments.Options) interface{} {
-			return experiments.Ablations(o)
+		{"ablations", "ICE design-point ablations", func(o experiments.Options) (func() string, interface{}, error) {
+			r, err := experiments.Ablations(o)
+			return r.String, r, err
 		}},
 	}
+}
+
+// cellTiming is one per-cell wall-clock measurement for -json output.
+type cellTiming struct {
+	Device   string  `json:"device,omitempty"`
+	Scheme   string  `json:"scheme,omitempty"`
+	Scenario string  `json:"scenario,omitempty"`
+	Variant  string  `json:"variant,omitempty"`
+	Round    int     `json:"round"`
+	Millis   float64 `json:"ms"`
+}
+
+// cellFailure is one failed cell for the structured JSON error object.
+type cellFailure struct {
+	Cell  string `json:"cell"`
+	Panic string `json:"panic"`
 }
 
 func main() {
@@ -107,8 +119,9 @@ func main() {
 		fast     = flag.Bool("fast", false, "reduced rounds/durations")
 		rounds   = flag.Int("rounds", 0, "override repetition count")
 		seed     = flag.Int64("seed", 0, "override base seed")
-		parallel = flag.Bool("parallel", true, "run rounds on parallel goroutines")
-		asJSON   = flag.Bool("json", false, "emit structured JSON instead of tables")
+		workers  = flag.Int("workers", 0, "max simulations in flight (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "report completed/total cells and ETA on stderr")
+		asJSON   = flag.Bool("json", false, "emit structured JSON (with per-cell timings) instead of tables")
 	)
 	flag.Parse()
 
@@ -119,8 +132,6 @@ func main() {
 		}
 		return
 	}
-
-	opts := experiments.Options{Fast: *fast, Rounds: *rounds, Seed: *seed, Parallel: *parallel}
 
 	want := map[string]bool{}
 	if *run != "all" {
@@ -137,21 +148,82 @@ func main() {
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	failed := false
 	for _, r := range all {
 		if *run != "all" && !want[r.id] {
 			continue
 		}
+
+		var timings []cellTiming
+		opts := experiments.Options{
+			Fast: *fast, Rounds: *rounds, Seed: *seed, Workers: *workers,
+			Progress: func(p harness.Progress) {
+				if *asJSON {
+					timings = append(timings, cellTiming{
+						Device: p.Cell.Device, Scheme: p.Cell.Scheme,
+						Scenario: p.Cell.Scenario, Variant: p.Cell.Variant,
+						Round:  p.Cell.Round,
+						Millis: float64(p.CellTime.Microseconds()) / 1000,
+					})
+				}
+				if *progress {
+					fmt.Fprintf(os.Stderr, "\r[%s] %d/%d cells, elapsed %v, eta %v   ",
+						r.id, p.Completed, p.Total,
+						p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
+					if p.Completed == p.Total {
+						fmt.Fprintln(os.Stderr)
+					}
+				}
+			},
+		}
+
 		start := time.Now()
+		render, data, err := r.exec(opts)
+		elapsed := time.Since(start)
+
+		if err != nil {
+			failed = true
+			if *asJSON {
+				var cells []cellFailure
+				for _, ce := range harness.Errs(err) {
+					cells = append(cells, cellFailure{Cell: ce.Cell.String(), Panic: fmt.Sprint(ce.Panic)})
+				}
+				obj := map[string]interface{}{
+					"id":         r.id,
+					"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+					"error": map[string]interface{}{
+						"message": err.Error(),
+						"cells":   cells,
+					},
+				}
+				if encErr := enc.Encode(obj); encErr != nil {
+					fmt.Fprintln(os.Stderr, encErr)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
+			}
+			continue
+		}
+
 		if *asJSON {
-			if err := enc.Encode(map[string]interface{}{"id": r.id, "result": r.data(opts)}); err != nil {
+			obj := map[string]interface{}{
+				"id":         r.id,
+				"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+				"cells":      timings,
+				"result":     data,
+			}
+			if err := enc.Encode(obj); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			continue
 		}
 		fmt.Printf("=== %s: %s ===\n", r.id, r.desc)
-		fmt.Println(r.run(opts))
-		fmt.Printf("(%s in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+		fmt.Println(render())
+		fmt.Printf("(%s in %v)\n\n", r.id, elapsed.Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

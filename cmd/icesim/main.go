@@ -5,9 +5,14 @@
 //
 //	icesim -device P20 -scenario S-A -scheme Ice -bg 8 -duration 60
 //	icesim -device Pixel3 -scenario S-D -scheme LRU+CFS -case memtester
+//	icesim -scheme Ice -rounds 10 -workers 4   # repeated, pooled rounds
 //
 // Schemes: LRU+CFS, UCSG, Acclaim, Ice, PowerManager.
 // Cases: null, apps, cputester, memtester.
+//
+// With -rounds > 1, the rounds run through the internal/harness bounded
+// worker pool with seeds derived per round, and the per-round and mean
+// FPS/RIA/memory outcomes are reported.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/workload"
@@ -30,6 +36,8 @@ func main() {
 		numBG    = flag.Int("bg", 0, "cached BG apps (0 = device default)")
 		duration = flag.Int("duration", 60, "measured seconds")
 		seed     = flag.Int64("seed", 1, "random seed")
+		rounds   = flag.Int("rounds", 1, "repetitions with re-derived seeds (1 = single verbose run)")
+		workers  = flag.Int("workers", 0, "max rounds in flight when -rounds > 1 (0 = GOMAXPROCS)")
 		series   = flag.Bool("series", false, "print the per-second FPS series")
 		traceN   = flag.Int("trace", 0, "record a Systrace-like event ring of this capacity and print its summary")
 	)
@@ -58,6 +66,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown case %q\n", *bgCase)
 		os.Exit(2)
+	}
+
+	if *rounds > 1 {
+		runRounds(dev, sch, bc, *scenario, *numBG, *duration, *seed, *rounds, *workers)
+		return
 	}
 
 	res := workload.RunScenario(workload.ScenarioConfig{
@@ -105,4 +118,65 @@ func main() {
 			fmt.Printf("  %6d  %-8s %-14s argsum=%d\n", s.Count, s.Cat, s.Name, s.ArgSum)
 		}
 	}
+}
+
+// runRounds repeats the configured scenario over the harness pool and
+// prints per-round plus aggregate outcomes.
+func runRounds(dev device.Profile, sch policy.Scheme, bc workload.BGCase,
+	scenario string, numBG, duration int, seed int64, rounds, workers int) {
+	cells := make([]harness.Cell, rounds)
+	for r := range cells {
+		cells[r] = harness.Cell{
+			Device: dev.Name, Scheme: sch.Name(), Scenario: scenario,
+			Variant: bc.String(), Round: r,
+		}
+	}
+	type sample struct {
+		fps, ria             float64
+		reclaimed, refaulted uint64
+	}
+	runs, err := harness.Map(harness.Config{BaseSeed: seed, Workers: workers}, cells,
+		func(c harness.Cell) sample {
+			// Each round needs its own scheme instance: policies carry
+			// per-run framework state.
+			s, err := policy.ByName(c.Scheme)
+			if err != nil {
+				panic(err)
+			}
+			res := workload.RunScenario(workload.ScenarioConfig{
+				Scenario: c.Scenario,
+				Device:   dev,
+				Scheme:   s,
+				BGCase:   bc,
+				NumBG:    numBG,
+				Duration: sim.Time(duration) * sim.Second,
+				Seed:     c.Seed,
+			})
+			return sample{
+				fps:       res.Frames.AvgFPS(),
+				ria:       res.Frames.RIA(),
+				reclaimed: res.Mem.Total.Reclaimed,
+				refaulted: res.Mem.Total.Refaulted,
+			}
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("device    : %s\n", dev)
+	fmt.Printf("scenario  : %s (%s), scheme %s, %d rounds (workers %d)\n",
+		scenario, bc, sch.Name(), rounds, workers)
+	var fps, ria harness.Agg
+	var reclaimed, refaulted harness.Counter
+	for r, s := range runs {
+		fmt.Printf("round %-3d : fps=%.1f ria=%.1f%% reclaimed=%d refaulted=%d\n",
+			r, s.fps, 100*s.ria, s.reclaimed, s.refaulted)
+		fps.Add(s.fps)
+		ria.Add(s.ria)
+		reclaimed.Add(s.reclaimed)
+		refaulted.Add(s.refaulted)
+	}
+	fmt.Printf("mean      : fps=%.1f (p50=%.1f) ria=%.1f%% reclaimed=%d refaulted=%d\n",
+		fps.Mean(), fps.Percentile(50), 100*ria.Mean(), reclaimed.Mean(), refaulted.Mean())
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/eurosys23/ice/internal/core"
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/workload"
 )
@@ -71,42 +72,74 @@ func ablationVariants() []struct {
 }
 
 // Ablations runs each ICE variant on the video-call scenario (P20).
-func Ablations(o Options) AblationResult {
+func Ablations(o Options) (AblationResult, error) {
 	o = o.withDefaults()
 	variants := ablationVariants()
-	res := AblationResult{Rows: make([]AblationRow, len(variants))}
-	o.forEachIndexed(len(variants), func(i int) {
-		v := variants[i]
-		row := AblationRow{Variant: v.name}
-		var fps, ria, frozen []float64
-		for r := 0; r < o.Rounds; r++ {
-			ice := &policy.Ice{Config: v.cfg()}
-			sres := workload.RunScenario(workload.ScenarioConfig{
-				Scenario: "S-A",
-				Device:   device.P20,
-				Scheme:   ice,
-				BGCase:   workload.BGApps,
-				Duration: o.Duration,
-				Seed:     o.roundSeed(r) + int64(i)*67,
-			})
-			fps = append(fps, sres.Frames.AvgFPS())
-			ria = append(ria, sres.Frames.RIA())
-			frozen = append(frozen, float64(sres.FrozenApps))
-			row.Refaulted += sres.Mem.Total.Refaulted
-			row.Reclaimed += sres.Mem.Total.Reclaimed
-			if ice.Framework != nil {
-				row.ThawActions += ice.Framework.Stats().ThawActions
-			}
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.name
+	}
+	spec := harness.Spec{
+		Devices:   []string{device.P20.Name},
+		Scenarios: []string{"S-A"},
+		Schemes:   []string{"Ice"},
+		Variants:  names,
+		Rounds:    o.Rounds,
+	}
+	type sample struct {
+		fps, ria, frozen     float64
+		refaulted, reclaimed uint64
+		thaws                uint64
+	}
+	runs, err := harness.Map(o.config(), spec.Cells(), func(c harness.Cell) sample {
+		ice := &policy.Ice{Config: variants[c.Index/o.Rounds].cfg()}
+		sres := workload.RunScenario(workload.ScenarioConfig{
+			Scenario: c.Scenario,
+			Device:   device.P20,
+			Scheme:   ice,
+			BGCase:   workload.BGApps,
+			Duration: o.Duration,
+			Seed:     c.Seed,
+		})
+		s := sample{
+			fps:       sres.Frames.AvgFPS(),
+			ria:       sres.Frames.RIA(),
+			frozen:    float64(sres.FrozenApps),
+			refaulted: sres.Mem.Total.Refaulted,
+			reclaimed: sres.Mem.Total.Reclaimed,
 		}
-		row.FPS = mean(fps)
-		row.RIA = mean(ria)
-		row.FrozenApps = mean(frozen)
-		row.Refaulted /= uint64(o.Rounds)
-		row.Reclaimed /= uint64(o.Rounds)
-		row.ThawActions /= uint64(o.Rounds)
-		res.Rows[i] = row
+		if ice.Framework != nil {
+			s.thaws = ice.Framework.Stats().ThawActions
+		}
+		return s
 	})
-	return res
+	if err != nil {
+		return AblationResult{}, err
+	}
+
+	res := AblationResult{Rows: make([]AblationRow, len(variants))}
+	for i := range variants {
+		var fps, ria, frozen harness.Agg
+		var refaulted, reclaimed, thaws harness.Counter
+		for _, s := range runs[i*o.Rounds : (i+1)*o.Rounds] {
+			fps.Add(s.fps)
+			ria.Add(s.ria)
+			frozen.Add(s.frozen)
+			refaulted.Add(s.refaulted)
+			reclaimed.Add(s.reclaimed)
+			thaws.Add(s.thaws)
+		}
+		res.Rows[i] = AblationRow{
+			Variant:     variants[i].name,
+			FPS:         fps.Mean(),
+			RIA:         ria.Mean(),
+			FrozenApps:  frozen.Mean(),
+			Refaulted:   refaulted.Mean(),
+			Reclaimed:   reclaimed.Mean(),
+			ThawActions: thaws.Mean(),
+		}
+	}
+	return res, nil
 }
 
 // String renders the ablation table.

@@ -6,11 +6,16 @@
 // Runners honour Options.Fast, which shrinks rounds and durations so the
 // whole suite can execute in seconds under `go test -bench`. Full-fidelity
 // runs use the defaults, mirroring the paper's ten-round methodology.
+//
+// Every runner executes its cell matrix through internal/harness: a
+// bounded worker pool with hash-derived per-cell seeds, panic isolation,
+// per-cell timing and progress reporting. Results are reduced from the
+// harness's matrix-ordered output, so they are byte-identical at any
+// worker count.
 package experiments
 
 import (
-	"sync"
-
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/sim"
 )
 
@@ -21,13 +26,18 @@ type Options struct {
 	Rounds int
 	// Duration of each measured scenario window (default 60 s; Fast: 15 s).
 	Duration sim.Time
-	// Seed is the base random seed; round r uses Seed + r·prime.
+	// Seed is the base random seed; each matrix cell derives its own
+	// seed from it via harness.DeriveSeed.
 	Seed int64
 	// Fast shrinks everything for smoke tests and benchmarks.
 	Fast bool
-	// Parallel runs rounds on separate goroutines (each round owns an
-	// isolated simulated device, so results are unchanged).
-	Parallel bool
+	// Workers bounds how many matrix cells simulate concurrently
+	// (<=0: GOMAXPROCS, 1: serial). Each cell owns an isolated
+	// simulated device, so results are identical at any worker count.
+	Workers int
+	// Progress, when non-nil, receives a callback after every completed
+	// matrix cell (serialised by the harness).
+	Progress func(harness.Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -51,57 +61,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// roundSeed derives the seed for round r.
-func (o Options) roundSeed(r int) int64 { return o.Seed + int64(r)*1000003 }
-
-// forEachRound runs fn for each round index, optionally in parallel.
-// fn must write only to its own round's slot in any shared slice.
-func (o Options) forEachRound(fn func(r int)) {
-	if !o.Parallel {
-		for r := 0; r < o.Rounds; r++ {
-			fn(r)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for r := 0; r < o.Rounds; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			fn(r)
-		}(r)
-	}
-	wg.Wait()
-}
-
-// forEachIndexed runs fn for i in [0, n), optionally in parallel. fn must
-// write only to its own slot in any shared slice.
-func (o Options) forEachIndexed(n int, fn func(i int)) {
-	if !o.Parallel {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
-}
-
-// mean of a float slice (0 for empty).
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
+// config adapts the options to a harness pool configuration.
+func (o Options) config() harness.Config {
+	return harness.Config{BaseSeed: o.Seed, Workers: o.Workers, Progress: o.Progress}
 }

@@ -1,16 +1,21 @@
 package experiments
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
+	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/workload"
 )
 
 // fastOpts keeps experiment tests quick while still running the real
-// pipelines end to end.
+// pipelines end to end (Workers 0 = bounded pool at GOMAXPROCS).
 func fastOpts() Options {
-	return Options{Fast: true, Rounds: 1, Parallel: true, Seed: 1}
+	return Options{Fast: true, Rounds: 1, Seed: 1}
 }
 
 func TestOptionsDefaults(t *testing.T) {
@@ -22,24 +27,16 @@ func TestOptionsDefaults(t *testing.T) {
 	if fast.Rounds != 2 || fast.Duration >= o.Duration {
 		t.Fatalf("fast options not reduced: %+v", fast)
 	}
-	if o.roundSeed(0) == o.roundSeed(1) {
-		t.Fatal("round seeds identical")
-	}
-}
-
-func TestForEachRoundParallelCoversAll(t *testing.T) {
-	o := Options{Rounds: 8, Parallel: true}.withDefaults()
-	hits := make([]bool, 8)
-	o.forEachRound(func(r int) { hits[r] = true })
-	for i, h := range hits {
-		if !h {
-			t.Fatalf("round %d not executed", i)
-		}
+	if o.Seed == 0 {
+		t.Fatal("no default seed")
 	}
 }
 
 func TestTable1Shape(t *testing.T) {
-	res := Table1(fastOpts())
+	res, err := Table1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 5 {
 		t.Fatalf("%d rows", len(res.Rows))
 	}
@@ -60,7 +57,10 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure1Shape(t *testing.T) {
-	res := Figure1(fastOpts())
+	res, err := Figure1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Cells) != 16 {
 		t.Fatalf("%d cells", len(res.Cells))
 	}
@@ -86,7 +86,10 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure2bShape(t *testing.T) {
-	res := Figure2b(fastOpts())
+	res, err := Figure2b(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) < 4 {
 		t.Fatalf("only %d decile rows", len(res.Rows))
 	}
@@ -101,7 +104,10 @@ func TestFigure2bShape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	res := Figure3(fastOpts())
+	res, err := Figure3(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Users) != 8 {
 		t.Fatalf("%d users", len(res.Users))
 	}
@@ -123,7 +129,10 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	res := Figure4(fastOpts())
+	res, err := Figure4(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 20 { // fast mode uses the 20-app catalog
 		t.Fatalf("%d rows", len(res.Rows))
 	}
@@ -142,8 +151,10 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	o := fastOpts()
-	res := Figure8(o)
+	res, err := Figure8(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Cells) != 2*4*4 {
 		t.Fatalf("%d cells", len(res.Cells))
 	}
@@ -164,7 +175,10 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
-	res := Figure10(fastOpts())
+	res, err := Figure10(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	lRef, lRec := res.schemeTotals("LRU+CFS")
 	iRef, iRec := res.schemeTotals("Ice")
 	if iRef >= lRef {
@@ -187,7 +201,10 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	res := Figure11(fastOpts())
+	res, err := Figure11(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	var base, ice *Figure11SchemeRow
 	for i := range res.Rows {
 		switch res.Rows[i].Scheme {
@@ -212,7 +229,10 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestSystemPressureShape(t *testing.T) {
-	res := SystemPressure(fastOpts())
+	res, err := SystemPressure(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.IceIOPages >= res.BaselineIOPages {
 		t.Errorf("Ice I/O %d ≥ baseline %d (paper: -9.2%%)", res.IceIOPages, res.BaselineIOPages)
 	}
@@ -222,7 +242,10 @@ func TestSystemPressureShape(t *testing.T) {
 }
 
 func TestAblationsShape(t *testing.T) {
-	res := Ablations(fastOpts())
+	res, err := Ablations(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 7 {
 		t.Fatalf("%d ablation rows", len(res.Rows))
 	}
@@ -260,17 +283,82 @@ func TestRealPagesScale(t *testing.T) {
 	}
 }
 
+// TestSeedHygiene asserts the harness derives a unique seed for every
+// cell of the two largest matrices — Figure 8 and Figure 9 at full
+// fidelity — combined. The retired `seed + d*7919 + s*389` arithmetic
+// invited silent collisions exactly here.
+func TestSeedHygiene(t *testing.T) {
+	o := Options{}.withDefaults() // full scale: 10 rounds
+	var cells []harness.Cell
+	cells = append(cells, matrixSpec(o,
+		[]device.Profile{device.Pixel3, device.P20},
+		policy.Names(), workload.Scenarios()).Cells()...)
+	cells = append(cells, figure9Matrix(o)...)
+	if len(cells) < 1000 {
+		t.Fatalf("matrix unexpectedly small: %d cells", len(cells))
+	}
+	seen := make(map[int64]harness.Cell, len(cells))
+	for _, c := range cells {
+		s := harness.DeriveSeed(o.Seed, c)
+		if s <= 0 {
+			t.Fatalf("non-positive seed for %s", c)
+		}
+		if prev, dup := seen[s]; dup && prev != c {
+			t.Fatalf("seed %d collides: %s vs %s", s, prev, c)
+		}
+		seen[s] = c
+	}
+}
+
+// TestFigure8WorkerInvariance is the determinism regression test: the
+// full Fast Figure 8 matrix must produce byte-identical cells whether it
+// runs serially or saturates the machine.
+func TestFigure8WorkerInvariance(t *testing.T) {
+	serial, err := Figure8(Options{Fast: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure8(Options{Fast: true, Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("Workers=1 and Workers=%d diverged:\n%s\nvs\n%s",
+			runtime.GOMAXPROCS(0), a, b)
+	}
+}
+
 // The whole experiment pipeline must be deterministic, including with
-// parallel rounds: same options → byte-identical rendering.
+// a parallel pool: same options → byte-identical rendering.
 func TestExperimentDeterminism(t *testing.T) {
-	a := Table1(fastOpts()).String()
-	b := Table1(fastOpts()).String()
-	if a != b {
+	a, err := Table1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
 		t.Fatal("Table1 output differs across identical runs")
 	}
-	f1a := Figure1(Options{Fast: true, Rounds: 2, Parallel: true, Seed: 3}).String()
-	f1b := Figure1(Options{Fast: true, Rounds: 2, Parallel: false, Seed: 3}).String()
-	if f1a != f1b {
-		t.Fatal("parallel rounds changed Figure 1's results")
+	f1a, err := Figure1(Options{Fast: true, Rounds: 2, Workers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1b, err := Figure1(Options{Fast: true, Rounds: 2, Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1a.String() != f1b.String() {
+		t.Fatal("parallel pool changed Figure 1's results")
 	}
 }

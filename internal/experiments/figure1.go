@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/workload"
 )
@@ -37,68 +38,83 @@ func (r *Figure1Result) Cell(scenario string, c workload.BGCase) *Figure1Cell {
 
 // caseAvg averages FPS across scenarios for one case.
 func (r *Figure1Result) caseAvg(c workload.BGCase) float64 {
-	var xs []float64
+	var xs harness.Agg
 	for _, cell := range r.Cells {
 		if cell.Case == c {
-			xs = append(xs, cell.AvgFPS)
+			xs.Add(cell.AvgFPS)
 		}
 	}
-	return mean(xs)
+	return xs.Mean()
+}
+
+// figure1Cases are the four background conditions of §2.2.
+func figure1Cases() []workload.BGCase {
+	return []workload.BGCase{workload.BGNull, workload.BGApps, workload.BGCputester, workload.BGMemtester}
 }
 
 // Figure1 runs the four scenarios under the four background conditions of
 // §2.2 and collects FPS timelines plus the reclaim/refault totals of
 // Figure 2(a).
-func Figure1(o Options) Figure1Result {
+func Figure1(o Options) (Figure1Result, error) {
 	o = o.withDefaults()
-	scenarios := workload.Scenarios()
-	cases := []workload.BGCase{workload.BGNull, workload.BGApps, workload.BGCputester, workload.BGMemtester}
-
-	type key struct {
-		s int
-		c int
+	cases := figure1Cases()
+	caseNames := make([]string, len(cases))
+	for i, c := range cases {
+		caseNames[i] = c.String()
 	}
-	cells := make([]Figure1Cell, len(scenarios)*len(cases))
-	o.forEachIndexed(len(cells), func(i int) {
-		k := key{s: i / len(cases), c: i % len(cases)}
-		var fps []float64
-		var series []float64
-		var reclaim, refault, refaultBG uint64
-		for r := 0; r < o.Rounds; r++ {
-			res := workload.RunScenario(workload.ScenarioConfig{
-				Scenario: scenarios[k.s],
-				Device:   device.P20,
-				Scheme:   policy.Baseline{},
-				BGCase:   cases[k.c],
-				Duration: o.Duration,
-				Seed:     o.roundSeed(r) + int64(i)*97,
-			})
-			fps = append(fps, res.Frames.AvgFPS())
-			if r == 0 {
-				series = res.Frames.FPSSeries
-			}
-			reclaim += res.Mem.Total.Reclaimed
-			refault += res.Mem.Total.Refaulted
-			refaultBG += res.Mem.RefaultBG
-		}
-		cells[i] = Figure1Cell{
-			Scenario:  scenarios[k.s],
-			Case:      cases[k.c],
-			AvgFPS:    mean(fps),
-			FPSSeries: series,
-			Reclaimed: reclaim / uint64(o.Rounds),
-			Refaulted: refault / uint64(o.Rounds),
-			RefaultBG: refaultBG / uint64(o.Rounds),
-		}
+	spec := harness.Spec{
+		Devices:   []string{device.P20.Name},
+		Scenarios: workload.Scenarios(),
+		Variants:  caseNames,
+		Rounds:    o.Rounds,
+	}
+	runs, err := harness.Map(o.config(), spec.Cells(), func(c harness.Cell) workload.ScenarioResult {
+		return workload.RunScenario(workload.ScenarioConfig{
+			Scenario: c.Scenario,
+			Device:   device.P20,
+			Scheme:   policy.Baseline{},
+			BGCase:   cases[c.Index/o.Rounds%len(cases)],
+			Duration: o.Duration,
+			Seed:     c.Seed,
+		})
 	})
-	return Figure1Result{Cells: cells}
+	if err != nil {
+		return Figure1Result{}, err
+	}
+
+	var res Figure1Result
+	for g := 0; g < len(runs); g += o.Rounds {
+		var fps harness.Agg
+		var reclaim, refault, refaultBG harness.Counter
+		var series []float64
+		for r, run := range runs[g : g+o.Rounds] {
+			fps.Add(run.Frames.AvgFPS())
+			if r == 0 {
+				series = run.Frames.FPSSeries
+			}
+			reclaim.Add(run.Mem.Total.Reclaimed)
+			refault.Add(run.Mem.Total.Refaulted)
+			refaultBG.Add(run.Mem.RefaultBG)
+		}
+		group := g / o.Rounds
+		res.Cells = append(res.Cells, Figure1Cell{
+			Scenario:  workload.Scenarios()[group/len(cases)],
+			Case:      cases[group%len(cases)],
+			AvgFPS:    fps.Mean(),
+			FPSSeries: series,
+			Reclaimed: reclaim.Mean(),
+			Refaulted: refault.Mean(),
+			RefaultBG: refaultBG.Mean(),
+		})
+	}
+	return res, nil
 }
 
 // String renders the FPS comparison of Figure 1.
 func (r Figure1Result) String() string {
 	t := newTable("Figure 1: average FPS per scenario and background case (P20)",
 		"Scenario", "BG-null", "BG-apps", "BG-cputester", "BG-memtester")
-	cases := []workload.BGCase{workload.BGNull, workload.BGApps, workload.BGCputester, workload.BGMemtester}
+	cases := figure1Cases()
 	for _, s := range workload.Scenarios() {
 		row := []string{s}
 		for _, c := range cases {

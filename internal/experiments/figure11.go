@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/eurosys23/ice/internal/app"
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/workload"
@@ -35,7 +36,7 @@ type Figure11Result struct {
 // Figure11 runs the launch loop under LRU+CFS and Ice on the P20 (whose
 // 6 GB cache ~7-8 of the 20 apps under the stock system, as the paper
 // reports), plus the worst-case hot-launch probe.
-func Figure11(o Options) Figure11Result {
+func Figure11(o Options) (Figure11Result, error) {
 	o = o.withDefaults()
 	rounds, dwell := 10, 30*sim.Second
 	apps := app.Catalog()
@@ -44,24 +45,35 @@ func Figure11(o Options) Figure11Result {
 		apps = apps[:10]
 	}
 	schemes := []string{"LRU+CFS", "Ice"}
-	res := Figure11Result{Rows: make([]Figure11SchemeRow, len(schemes)), Rounds: rounds}
-	o.forEachIndexed(len(schemes)+1, func(i int) {
-		if i == len(schemes) {
-			worst, normal := workload.WorstCaseHotLaunch(device.P20, o.Seed^0x3f, apps)
-			res.WorstCaseHot, res.NormalHot = worst, normal
-			return
+	cells := make([]harness.Cell, 0, len(schemes)+1)
+	for _, p := range schemes {
+		cells = append(cells, harness.Cell{Device: device.P20.Name, Scheme: p, Scenario: "launch-loop"})
+	}
+	cells = append(cells, harness.Cell{Device: device.P20.Name, Scenario: "worst-case-hot"})
+
+	type launchOut struct {
+		row           Figure11SchemeRow
+		worst, normal sim.Time
+	}
+	outs, err := harness.Map(o.config(), cells, func(c harness.Cell) launchOut {
+		if c.Scenario == "worst-case-hot" {
+			worst, normal := workload.WorstCaseHotLaunch(device.P20, c.Seed, apps)
+			return launchOut{worst: worst, normal: normal}
 		}
-		sch, _ := policy.ByName(schemes[i])
+		sch, err := policy.ByName(c.Scheme)
+		if err != nil {
+			panic(err)
+		}
 		ll := workload.RunLaunchLoop(workload.LaunchLoopConfig{
 			Device: device.P20,
 			Scheme: sch,
 			Rounds: rounds,
 			Dwell:  dwell,
 			Apps:   apps,
-			Seed:   o.Seed + int64(i)*first64,
+			Seed:   c.Seed,
 		})
-		res.Rows[i] = Figure11SchemeRow{
-			Scheme:      schemes[i],
+		return launchOut{row: Figure11SchemeRow{
+			Scheme:      c.Scheme,
 			MeanAll:     ll.MeanAll(),
 			MeanCold:    ll.MeanCold(),
 			MeanHot:     ll.MeanHot(),
@@ -69,12 +81,19 @@ func Figure11(o Options) Figure11Result {
 			LMKKills:    ll.LMKKills,
 			IOPages:     ll.IO.TotalPages(),
 			CPUUtil:     ll.CPU.Utilization(),
-		}
+		}}
 	})
-	return res
+	if err != nil {
+		return Figure11Result{}, err
+	}
+	res := Figure11Result{Rounds: rounds}
+	for _, out := range outs[:len(schemes)] {
+		res.Rows = append(res.Rows, out.row)
+	}
+	res.WorstCaseHot = outs[len(schemes)].worst
+	res.NormalHot = outs[len(schemes)].normal
+	return res, nil
 }
-
-const first64 = 104729
 
 // HotLaunchGain returns Ice's hot-launch-count increase over the baseline
 // for rounds 2+ (the paper's "25% more applications could be hot

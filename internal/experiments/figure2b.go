@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/metrics"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/workload"
@@ -20,22 +21,22 @@ type Figure2bResult struct {
 // bins them by BG-refault count. The paper uses 30 s windows over long
 // captures; the simulated runs use 10 s windows so that the default
 // duration still yields enough samples per decile.
-func Figure2b(o Options) Figure2bResult {
+func Figure2b(o Options) (Figure2bResult, error) {
 	o = o.withDefaults()
 	const window = 10 // seconds
-	scenarios := workload.Scenarios()
-
-	sampleSets := make([][]metrics.WindowSample, len(scenarios)*o.Rounds)
-	o.forEachIndexed(len(sampleSets), func(i int) {
-		s := i / o.Rounds
-		r := i % o.Rounds
+	spec := harness.Spec{
+		Devices:   []string{device.P20.Name},
+		Scenarios: workload.Scenarios(),
+		Rounds:    o.Rounds,
+	}
+	sampleSets, err := harness.Map(o.config(), spec.Cells(), func(c harness.Cell) []metrics.WindowSample {
 		res := workload.RunScenario(workload.ScenarioConfig{
-			Scenario: scenarios[s],
+			Scenario: c.Scenario,
 			Device:   device.P20,
 			Scheme:   policy.Baseline{},
 			BGCase:   workload.BGApps,
 			Duration: o.Duration,
-			Seed:     o.roundSeed(r) + int64(s)*193,
+			Seed:     c.Seed,
 		})
 		secs := len(res.Frames.FPSSeries)
 		if n := len(res.MemSeries); n < secs {
@@ -52,14 +53,17 @@ func Figure2b(o Options) Figure2bResult {
 			w.FPS /= window
 			samples = append(samples, w)
 		}
-		sampleSets[i] = samples
+		return samples
 	})
+	if err != nil {
+		return Figure2bResult{}, err
+	}
 
 	var all []metrics.WindowSample
 	for _, s := range sampleSets {
 		all = append(all, s...)
 	}
-	return Figure2bResult{Rows: metrics.DecileBins(all), WindowSeconds: window}
+	return Figure2bResult{Rows: metrics.DecileBins(all), WindowSeconds: window}, nil
 }
 
 // String renders the decile table.

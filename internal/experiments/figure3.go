@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/workload"
 )
 
@@ -28,32 +29,47 @@ type Figure3Result struct {
 // Figure3 simulates the eight volunteers of Table 2. The paper collected
 // one month; the simulation compresses each day into a fixed number of
 // usage sessions (Fast: 2 days × 4 sessions; default: 5 days × 8).
-func Figure3(o Options) Figure3Result {
+func Figure3(o Options) (Figure3Result, error) {
 	o = o.withDefaults()
 	days, sessions := 5, 8
 	if o.Fast {
 		days, sessions = 2, 4
 	}
 	cfgs := workload.StudyUsers(o.Seed, days)
-	res := Figure3Result{Users: make([]Figure3UserRow, len(cfgs))}
-	timelines := make([]workload.UserResult, len(cfgs))
-	o.forEachIndexed(len(cfgs), func(i int) {
-		cfg := cfgs[i]
+	cells := make([]harness.Cell, len(cfgs))
+	for i, cfg := range cfgs {
+		cells[i] = harness.Cell{Device: cfg.Device.Name, Variant: userName(i)}
+	}
+	type userOut struct {
+		row      Figure3UserRow
+		timeline workload.UserResult
+	}
+	outs, err := harness.Map(o.config(), cells, func(c harness.Cell) userOut {
+		cfg := cfgs[c.Index]
 		cfg.SessionsPerDay = sessions
 		ur := workload.RunUser(cfg)
-		timelines[i] = ur
-		res.Users[i] = Figure3UserRow{
-			User:          userName(i),
-			Device:        cfg.Device.Name,
-			EvictedPerDay: float64(realPages(ur.TotalEvicted())) / float64(days),
-			RefaultPerDay: float64(realPages(ur.TotalRefaulted())) / float64(days),
-			RefaultRatio:  ur.RefaultRatio(),
-			BGShare:       ur.BGShare(),
+		return userOut{
+			timeline: ur,
+			row: Figure3UserRow{
+				User:          c.Variant,
+				Device:        cfg.Device.Name,
+				EvictedPerDay: float64(realPages(ur.TotalEvicted())) / float64(days),
+				RefaultPerDay: float64(realPages(ur.TotalRefaulted())) / float64(days),
+				RefaultRatio:  ur.RefaultRatio(),
+				BGShare:       ur.BGShare(),
+			},
 		}
 	})
-	res.TimelineEvicted = timelines[0].CumEvicted
-	res.TimelineRefaulted = timelines[0].CumRefaulted
-	return res
+	if err != nil {
+		return Figure3Result{}, err
+	}
+	res := Figure3Result{Users: make([]Figure3UserRow, len(outs))}
+	for i, out := range outs {
+		res.Users[i] = out.row
+	}
+	res.TimelineEvicted = outs[0].timeline.CumEvicted
+	res.TimelineRefaulted = outs[0].timeline.CumRefaulted
+	return res, nil
 }
 
 func userName(i int) string {
@@ -62,20 +78,20 @@ func userName(i int) string {
 
 // AvgRefaultRatio averages the per-user refault ratios.
 func (r Figure3Result) AvgRefaultRatio() float64 {
-	var xs []float64
+	var xs harness.Agg
 	for _, u := range r.Users {
-		xs = append(xs, u.RefaultRatio)
+		xs.Add(u.RefaultRatio)
 	}
-	return mean(xs)
+	return xs.Mean()
 }
 
 // AvgBGShare averages the per-user background-refault shares.
 func (r Figure3Result) AvgBGShare() float64 {
-	var xs []float64
+	var xs harness.Agg
 	for _, u := range r.Users {
-		xs = append(xs, u.BGShare)
+		xs.Add(u.BGShare)
 	}
-	return mean(xs)
+	return xs.Mean()
 }
 
 // String renders Figure 3a plus the 3b summary.

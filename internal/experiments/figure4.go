@@ -3,6 +3,7 @@ package experiments
 import (
 	"github.com/eurosys23/ice/internal/app"
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/workload"
 )
 
@@ -23,24 +24,29 @@ type Figure4Result struct {
 }
 
 // Figure4 runs the per-process-reclaim study over the 40-app catalog
-// (Fast: the 20-app catalog), both with GC enabled and disabled.
-func Figure4(o Options) Figure4Result {
+// (Fast: the 20-app catalog), both with GC enabled and disabled. Both
+// arms deliberately share the base seed so the GC toggle is the only
+// difference between them (a paired comparison).
+func Figure4(o Options) (Figure4Result, error) {
 	o = o.withDefaults()
 	apps := app.Catalog40()
 	if o.Fast {
 		apps = app.Catalog()
 	}
-	var res Figure4Result
-	var rowsGC, rowsNoGC []workload.ReclaimStudyRow
-	o.forEachIndexed(2, func(i int) {
-		if i == 0 {
-			rowsGC = workload.RunReclaimStudy(device.P20, o.Seed, apps, false)
-		} else {
-			rowsNoGC = workload.RunReclaimStudy(device.P20, o.Seed, apps, true)
-		}
+	cells := []harness.Cell{
+		{Device: device.P20.Name, Variant: "gc-on"},
+		{Device: device.P20.Name, Variant: "gc-off"},
+	}
+	rowSets, err := harness.Map(o.config(), cells, func(c harness.Cell) []workload.ReclaimStudyRow {
+		return workload.RunReclaimStudy(device.P20, o.Seed, apps, c.Variant == "gc-off")
 	})
-	res.Rows = rowsGC
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	rowsGC, rowsNoGC := rowSets[0], rowSets[1]
 
+	var res Figure4Result
+	res.Rows = rowsGC
 	var file, native, java, reclaimed uint64
 	for _, row := range rowsGC {
 		file += row.RefaultFile
@@ -65,7 +71,7 @@ func Figure4(o Options) Figure4Result {
 	if reclaimed > 0 {
 		res.OverallRefaultRatio = float64(res.TotalRefaults) / float64(reclaimed)
 	}
-	return res
+	return res, nil
 }
 
 // String renders the categorisation summary plus the per-app rows.

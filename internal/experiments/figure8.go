@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/workload"
 )
@@ -42,71 +43,87 @@ func (r *Figure8Result) Cell(dev, scenario, scheme string) *Figure8Cell {
 	return nil
 }
 
-// runMatrix executes scenarios × schemes × rounds on the given devices.
-func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios []string) []Figure8Cell {
-	type idx struct{ d, s, p int }
-	var keys []idx
-	for d := range devices {
-		for s := range scenarios {
-			for p := range schemes {
-				keys = append(keys, idx{d, s, p})
-			}
-		}
+// matrixSpec declares the device × scenario × scheme × round matrix
+// shared by Figures 8 and 10, Table 5 and the §6.2.2 pressure analysis.
+func matrixSpec(o Options, devices []device.Profile, schemes, scenarios []string) harness.Spec {
+	names := make([]string, len(devices))
+	for i, d := range devices {
+		names[i] = d.Name
 	}
-	cells := make([]Figure8Cell, len(keys))
-	o.forEachIndexed(len(keys), func(i int) {
-		k := keys[i]
-		cell := Figure8Cell{
-			Device:   devices[k.d].Name,
-			Scenario: scenarios[k.s],
-			Scheme:   schemes[k.p],
-		}
-		var fps, ria, util, frozen []float64
-		for r := 0; r < o.Rounds; r++ {
-			sch, err := policy.ByName(schemes[k.p])
+	return harness.Spec{Devices: names, Scenarios: scenarios, Schemes: schemes, Rounds: o.Rounds}
+}
+
+// runMatrix executes scenarios × schemes × rounds on the given devices
+// through the harness (one cell per round) and reduces each round group
+// to a Figure8Cell.
+func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios []string) ([]Figure8Cell, error) {
+	profiles := make(map[string]device.Profile, len(devices))
+	for _, d := range devices {
+		profiles[d.Name] = d
+	}
+	runs, err := harness.Map(o.config(), matrixSpec(o, devices, schemes, scenarios).Cells(),
+		func(c harness.Cell) workload.ScenarioResult {
+			sch, err := policy.ByName(c.Scheme)
 			if err != nil {
 				panic(err)
 			}
-			res := workload.RunScenario(workload.ScenarioConfig{
-				Scenario: scenarios[k.s],
-				Device:   devices[k.d],
+			return workload.RunScenario(workload.ScenarioConfig{
+				Scenario: c.Scenario,
+				Device:   profiles[c.Device],
 				Scheme:   sch,
 				BGCase:   workload.BGApps,
 				Duration: o.Duration,
-				Seed:     o.roundSeed(r) + int64(k.d)*7919 + int64(k.s)*389,
+				Seed:     c.Seed,
 			})
-			fps = append(fps, res.Frames.AvgFPS())
-			ria = append(ria, res.Frames.RIA())
-			util = append(util, res.CPU.Utilization())
-			frozen = append(frozen, float64(res.FrozenApps))
-			cell.Reclaimed += res.Mem.Total.Reclaimed
-			cell.Refaulted += res.Mem.Total.Refaulted
-			cell.RefaultFG += res.Mem.RefaultFG
-			cell.RefaultBG += res.Mem.RefaultBG
-			cell.IOPages += res.IO.TotalPages()
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]Figure8Cell, 0, len(runs)/o.Rounds)
+	for g := 0; g < len(runs); g += o.Rounds {
+		var fps, ria, util, frozen harness.Agg
+		var reclaimed, refaulted, refaultFG, refaultBG, ioPages harness.Counter
+		for _, res := range runs[g : g+o.Rounds] {
+			fps.Add(res.Frames.AvgFPS())
+			ria.Add(res.Frames.RIA())
+			util.Add(res.CPU.Utilization())
+			frozen.Add(float64(res.FrozenApps))
+			reclaimed.Add(res.Mem.Total.Reclaimed)
+			refaulted.Add(res.Mem.Total.Refaulted)
+			refaultFG.Add(res.Mem.RefaultFG)
+			refaultBG.Add(res.Mem.RefaultBG)
+			ioPages.Add(res.IO.TotalPages())
 		}
-		n := uint64(o.Rounds)
-		cell.FPS = mean(fps)
-		cell.RIA = mean(ria)
-		cell.CPUUtil = mean(util)
-		cell.FrozenApps = mean(frozen)
-		cell.Reclaimed /= n
-		cell.Refaulted /= n
-		cell.RefaultFG /= n
-		cell.RefaultBG /= n
-		cell.IOPages /= n
-		cells[i] = cell
-	})
-	return cells
+		cfg := runs[g].Config
+		cells = append(cells, Figure8Cell{
+			Device:     cfg.Device.Name,
+			Scenario:   cfg.Scenario,
+			Scheme:     cfg.Scheme.Name(),
+			FPS:        fps.Mean(),
+			RIA:        ria.Mean(),
+			CPUUtil:    util.Mean(),
+			FrozenApps: frozen.Mean(),
+			Reclaimed:  reclaimed.Mean(),
+			Refaulted:  refaulted.Mean(),
+			RefaultFG:  refaultFG.Mean(),
+			RefaultBG:  refaultBG.Mean(),
+			IOPages:    ioPages.Mean(),
+		})
+	}
+	return cells, nil
 }
 
 // Figure8 runs the full scheme × scenario × device matrix with the
 // device-default background population (6 on Pixel3, 8 on P20).
-func Figure8(o Options) Figure8Result {
+func Figure8(o Options) (Figure8Result, error) {
 	o = o.withDefaults()
 	schemes := policy.Names()
-	cells := runMatrix(o, []device.Profile{device.Pixel3, device.P20}, schemes, workload.Scenarios())
-	return Figure8Result{Cells: cells, Schemes: schemes}
+	cells, err := runMatrix(o, []device.Profile{device.Pixel3, device.P20}, schemes, workload.Scenarios())
+	if err != nil {
+		return Figure8Result{}, err
+	}
+	return Figure8Result{Cells: cells, Schemes: schemes}, nil
 }
 
 // String renders the FPS and RIA tables.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/workload"
 )
@@ -43,54 +44,83 @@ func figure9Counts(dev device.Profile) []int {
 	return []int{0, 2, 4, 6, 8}
 }
 
+// figure9Matrix enumerates the Figure 9 cells nested device → BG count
+// → scheme → scenario → round, so each (device, count, scheme) group is
+// a contiguous block of len(scenarios)·rounds cells. The per-device
+// count lists differ, so the matrix is built explicitly rather than
+// from a single harness.Spec.
+func figure9Matrix(o Options) []harness.Cell {
+	var cells []harness.Cell
+	for _, d := range []device.Profile{device.Pixel3, device.P20} {
+		for _, n := range figure9Counts(d) {
+			for _, p := range []string{"LRU+CFS", "Ice"} {
+				for _, s := range workload.Scenarios() {
+					for r := 0; r < o.Rounds; r++ {
+						cells = append(cells, harness.Cell{
+							Device: d.Name, Scheme: p, Scenario: s,
+							Variant: fmt.Sprintf("bg=%d", n), Round: r,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
 // Figure9 sweeps the number of cached applications on both devices for
 // LRU+CFS and Ice, averaging FPS/RIA across the four scenarios.
-func Figure9(o Options) Figure9Result {
+func Figure9(o Options) (Figure9Result, error) {
 	o = o.withDefaults()
-	devices := []device.Profile{device.Pixel3, device.P20}
-	schemes := []string{"LRU+CFS", "Ice"}
-	scenarios := workload.Scenarios()
-
-	type key struct {
-		dev    device.Profile
-		numBG  int
-		scheme string
-	}
-	var keys []key
-	for _, d := range devices {
-		for _, n := range figure9Counts(d) {
-			for _, p := range schemes {
-				keys = append(keys, key{d, n, p})
-			}
+	type sample struct{ fps, ria float64 }
+	cells := figure9Matrix(o)
+	runs, err := harness.Map(o.config(), cells, func(c harness.Cell) sample {
+		var numBG int
+		fmt.Sscanf(c.Variant, "bg=%d", &numBG)
+		dev, _ := device.ByName(c.Device)
+		sch, err := policy.ByName(c.Scheme)
+		if err != nil {
+			panic(err)
 		}
-	}
-	cells := make([]Figure9Cell, len(keys))
-	o.forEachIndexed(len(keys), func(i int) {
-		k := keys[i]
-		var fps, ria []float64
-		for s := range scenarios {
-			for r := 0; r < o.Rounds; r++ {
-				sch, _ := policy.ByName(k.scheme)
-				bgCase := workload.BGApps
-				if k.numBG == 0 {
-					bgCase = workload.BGNull
-				}
-				res := workload.RunScenario(workload.ScenarioConfig{
-					Scenario: scenarios[s],
-					Device:   k.dev,
-					Scheme:   sch,
-					BGCase:   bgCase,
-					NumBG:    k.numBG,
-					Duration: o.Duration,
-					Seed:     o.roundSeed(r) + int64(s)*389 + int64(k.numBG)*53,
-				})
-				fps = append(fps, res.Frames.AvgFPS())
-				ria = append(ria, res.Frames.RIA())
-			}
+		bgCase := workload.BGApps
+		if numBG == 0 {
+			bgCase = workload.BGNull
 		}
-		cells[i] = Figure9Cell{Device: k.dev.Name, NumBG: k.numBG, Scheme: k.scheme, FPS: mean(fps), RIA: mean(ria)}
+		res := workload.RunScenario(workload.ScenarioConfig{
+			Scenario: c.Scenario,
+			Device:   dev,
+			Scheme:   sch,
+			BGCase:   bgCase,
+			NumBG:    numBG,
+			Duration: o.Duration,
+			Seed:     c.Seed,
+		})
+		return sample{fps: res.Frames.AvgFPS(), ria: res.Frames.RIA()}
 	})
-	return Figure9Result{Cells: cells}
+	if err != nil {
+		return Figure9Result{}, err
+	}
+
+	// Reduce scenario × round groups: the matrix nests device → count →
+	// scheme → scenario → round, so one Figure9Cell spans a contiguous
+	// block of len(scenarios)·rounds runs.
+	group := len(workload.Scenarios()) * o.Rounds
+	var res Figure9Result
+	for g := 0; g < len(runs); g += group {
+		var fps, ria harness.Agg
+		for _, s := range runs[g : g+group] {
+			fps.Add(s.fps)
+			ria.Add(s.ria)
+		}
+		c := cells[g]
+		var numBG int
+		fmt.Sscanf(c.Variant, "bg=%d", &numBG)
+		res.Cells = append(res.Cells, Figure9Cell{
+			Device: c.Device, NumBG: numBG, Scheme: c.Scheme,
+			FPS: fps.Mean(), RIA: ria.Mean(),
+		})
+	}
+	return res, nil
 }
 
 // Speedup returns Ice FPS over LRU+CFS FPS at the device's full BG

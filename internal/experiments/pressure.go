@@ -17,9 +17,12 @@ type PressureResult struct {
 // SystemPressure aggregates I/O and CPU over the four scenarios (P20,
 // BG-apps) for LRU+CFS vs Ice, reproducing §6.2.2's "I/O size reduced by
 // 9.2%" and "CPU utilisation 55.8% → 47.3%".
-func SystemPressure(o Options) PressureResult {
+func SystemPressure(o Options) (PressureResult, error) {
 	o = o.withDefaults()
-	cells := runMatrix(o, []device.Profile{device.P20}, []string{"LRU+CFS", "Ice"}, workload.Scenarios())
+	cells, err := runMatrix(o, []device.Profile{device.P20}, []string{"LRU+CFS", "Ice"}, workload.Scenarios())
+	if err != nil {
+		return PressureResult{}, err
+	}
 	var res PressureResult
 	var nBase, nIce int
 	for _, c := range cells {
@@ -40,7 +43,7 @@ func SystemPressure(o Options) PressureResult {
 	if nIce > 0 {
 		res.IceCPUUtil /= float64(nIce)
 	}
-	return res
+	return res, nil
 }
 
 // IOReduction returns the relative I/O saving.

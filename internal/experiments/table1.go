@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/workload"
 )
@@ -19,17 +22,26 @@ type Table1Result struct {
 }
 
 // Table1 runs the CPU-utilisation study for N ∈ {0, 2, 4, 6, 8}.
-func Table1(o Options) Table1Result {
+func Table1(o Options) (Table1Result, error) {
 	o = o.withDefaults()
 	window := 10 * sim.Second // the paper's ten-second observation
 	counts := []int{0, 2, 4, 6, 8}
-	res := Table1Result{Rows: make([]Table1Row, len(counts))}
-	o.forEachIndexed(len(counts), func(i int) {
-		n := counts[i]
-		r := workload.RunCPUStudy(workload.DefaultCPUStudyDevice, n, o.Rounds, window, o.Seed+int64(n)*31)
-		res.Rows[i] = Table1Row{NumBG: n, Average: r.Average, Peak: r.Peak}
+	cells := make([]harness.Cell, len(counts))
+	for i, n := range counts {
+		cells[i] = harness.Cell{
+			Device:  workload.DefaultCPUStudyDevice.Name,
+			Variant: fmt.Sprintf("bg=%d", n),
+		}
+	}
+	rows, err := harness.Map(o.config(), cells, func(c harness.Cell) Table1Row {
+		n := counts[c.Index]
+		r := workload.RunCPUStudy(workload.DefaultCPUStudyDevice, n, o.Rounds, window, c.Seed)
+		return Table1Row{NumBG: n, Average: r.Average, Peak: r.Peak}
 	})
-	return res
+	if err != nil {
+		return Table1Result{}, err
+	}
+	return Table1Result{Rows: rows}, nil
 }
 
 // String renders the paper-style table.

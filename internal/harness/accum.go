@@ -1,0 +1,46 @@
+package harness
+
+import "github.com/eurosys23/ice/internal/metrics"
+
+// Agg accumulates float64 samples for the reduce step that follows a
+// Map: runners push one sample per cell of a group and read the group
+// statistic. Mean and Percentile delegate to internal/metrics so every
+// experiment reduces with the same arithmetic the evaluation figures
+// use.
+type Agg struct {
+	xs []float64
+}
+
+// Add records one sample.
+func (a *Agg) Add(x float64) { a.xs = append(a.xs, x) }
+
+// N returns the number of samples recorded.
+func (a *Agg) N() int { return len(a.xs) }
+
+// Mean returns the arithmetic mean (0 for no samples).
+func (a *Agg) Mean() float64 { return metrics.Mean(a.xs) }
+
+// Percentile returns the p-th percentile (0-100) by nearest rank.
+func (a *Agg) Percentile(p float64) float64 { return metrics.Percentile(a.xs, p) }
+
+// Counter accumulates unsigned counters (page counts, I/O volumes) and
+// reports their total or per-sample mean, replacing the per-runner
+// "sum then divide by rounds" boilerplate.
+type Counter struct {
+	sum uint64
+	n   uint64
+}
+
+// Add records one counter sample.
+func (c *Counter) Add(v uint64) { c.sum += v; c.n++ }
+
+// Sum returns the accumulated total.
+func (c *Counter) Sum() uint64 { return c.sum }
+
+// Mean returns the integer mean per sample (0 for no samples).
+func (c *Counter) Mean() uint64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.sum / c.n
+}

@@ -1,0 +1,249 @@
+// Package harness executes declarative experiment run-matrices on a
+// bounded worker pool.
+//
+// Every experiment in this repository has the same shape: a cross
+// product of coordinates (device × scheme × scenario × variant × round)
+// where each cell is an independent, seeded, deterministic simulation.
+// The harness owns everything that used to be re-implemented per
+// runner:
+//
+//   - a Cell spec naming the coordinates of one simulation,
+//   - deterministic, collision-free seed derivation (a hash of the cell
+//     coordinates mixed with the base seed, replacing ad-hoc arithmetic
+//     like seed + d*7919 + s*389 that silently collides as matrices grow),
+//   - a bounded worker pool (default GOMAXPROCS) so a 40-cell figure no
+//     longer launches 40 full device simulations at once,
+//   - panic recovery that converts a failed cell into a structured
+//     *CellError instead of killing the process,
+//   - per-cell wall-clock timing and a progress callback with
+//     completed/total counts and an ETA.
+//
+// Results are collected in matrix order, so output is byte-identical at
+// any worker count as long as each cell is deterministic in its seed.
+package harness
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cell is one point of a run matrix: the coordinates of a single
+// simulation. Unused axes stay "". Index and Seed are stamped by the
+// harness before the cell is executed: Index is the cell's position in
+// the matrix (stable across worker counts) and Seed is derived from the
+// base seed and the coordinates via DeriveSeed.
+type Cell struct {
+	Device   string
+	Scheme   string
+	Scenario string
+	// Variant is a free-form axis for matrices with a dimension beyond
+	// device/scheme/scenario (BG-app count, ablation variant, GC mode).
+	Variant string
+	Round   int
+
+	Index int
+	Seed  int64
+}
+
+// String renders the coordinates compactly for errors and progress.
+func (c Cell) String() string {
+	s := fmt.Sprintf("cell %d", c.Index)
+	for _, part := range []struct{ k, v string }{
+		{"device", c.Device}, {"scheme", c.Scheme},
+		{"scenario", c.Scenario}, {"variant", c.Variant},
+	} {
+		if part.v != "" {
+			s += " " + part.k + "=" + part.v
+		}
+	}
+	return s + fmt.Sprintf(" round=%d", c.Round)
+}
+
+// DeriveSeed maps the base seed plus a cell's coordinates onto a
+// positive, well-mixed simulation seed (FNV-1a over the coordinate
+// tuple). Distinct coordinates produce distinct seeds with overwhelming
+// probability regardless of how the matrix grows; the experiments suite
+// asserts uniqueness across its largest matrices.
+func DeriveSeed(base int64, c Cell) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	for _, s := range []string{c.Device, c.Scheme, c.Scenario, c.Variant} {
+		io.WriteString(h, s)
+		h.Write([]byte{0})
+	}
+	binary.LittleEndian.PutUint64(b[:], uint64(c.Round))
+	h.Write(b[:])
+	seed := int64(h.Sum64() >> 1) // keep it positive
+	if seed == 0 {
+		seed = 1 // 0 means "use the default seed" to several callers
+	}
+	return seed
+}
+
+// Config tunes one harness run.
+type Config struct {
+	// BaseSeed feeds DeriveSeed for every cell.
+	BaseSeed int64
+	// Workers bounds how many cells run concurrently. <=0 means
+	// runtime.GOMAXPROCS(0); 1 runs the matrix serially.
+	Workers int
+	// Progress, when non-nil, is invoked after every completed cell.
+	// Calls are serialised by the harness, so the callback may keep
+	// unsynchronised state.
+	Progress func(Progress)
+}
+
+// Progress reports harness advancement after each completed cell.
+type Progress struct {
+	Completed int
+	Total     int
+	// Elapsed is the wall-clock time since the run started; ETA
+	// extrapolates the remaining time from the mean cell rate so far.
+	Elapsed time.Duration
+	ETA     time.Duration
+	// Cell is the cell that just completed and CellTime its wall-clock
+	// execution time.
+	Cell     Cell
+	CellTime time.Duration
+	// Failed counts cells that panicked so far.
+	Failed int
+}
+
+// CellError is a cell whose function panicked. The harness recovers the
+// panic and reports it as a structured error so one bad cell cannot take
+// down the whole process (or CLI) with a bare stack trace.
+type CellError struct {
+	Cell  Cell
+	Panic interface{}
+	Stack []byte
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("%s: panic: %v", e.Cell, e.Panic)
+}
+
+// Errs extracts the per-cell errors from an error returned by Map,
+// in matrix order. It returns nil if err is nil or foreign.
+func Errs(err error) []*CellError {
+	var joined interface{ Unwrap() []error }
+	if errors.As(err, &joined) {
+		var out []*CellError
+		for _, e := range joined.Unwrap() {
+			var ce *CellError
+			if errors.As(e, &ce) {
+				out = append(out, ce)
+			}
+		}
+		return out
+	}
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return []*CellError{ce}
+	}
+	return nil
+}
+
+// Map executes fn for every cell with at most cfg.Workers cells in
+// flight and returns the results in matrix order. Index and Seed are
+// stamped on each cell before execution; any Seed already present is
+// overwritten. A panicking cell yields a zero result slot and a
+// *CellError; all cell errors are joined (in matrix order) into the
+// returned error while the remaining cells still run to completion.
+func Map[T any](cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
+	stamped := make([]Cell, len(cells))
+	for i := range cells {
+		c := cells[i]
+		c.Index = i
+		c.Seed = DeriveSeed(cfg.BaseSeed, c)
+		stamped[i] = c
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(stamped) {
+		workers = len(stamped)
+	}
+
+	out := make([]T, len(stamped))
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex // guards cellErrs, completed, Progress calls
+		cellErrs []*CellError
+		done     int
+		start    = time.Now()
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stamped) {
+					return
+				}
+				c := stamped[i]
+				cellStart := time.Now()
+				cerr := runCell(c, &out[i], fn)
+				cellTime := time.Since(cellStart)
+
+				mu.Lock()
+				done++
+				if cerr != nil {
+					cellErrs = append(cellErrs, cerr)
+				}
+				if cfg.Progress != nil {
+					p := Progress{
+						Completed: done,
+						Total:     len(stamped),
+						Elapsed:   time.Since(start),
+						Cell:      c,
+						CellTime:  cellTime,
+						Failed:    len(cellErrs),
+					}
+					if done > 0 {
+						p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(p.Total-done))
+					}
+					cfg.Progress(p)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(cellErrs) == 0 {
+		return out, nil
+	}
+	sort.Slice(cellErrs, func(i, j int) bool { return cellErrs[i].Cell.Index < cellErrs[j].Cell.Index })
+	errs := make([]error, len(cellErrs))
+	for i, ce := range cellErrs {
+		errs[i] = ce
+	}
+	return out, errors.Join(errs...)
+}
+
+// runCell runs fn for one cell, converting a panic into a *CellError.
+func runCell[T any](c Cell, slot *T, fn func(Cell) T) (cerr *CellError) {
+	defer func() {
+		if r := recover(); r != nil {
+			cerr = &CellError{Cell: c, Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	*slot = fn(c)
+	return nil
+}

@@ -1,0 +1,55 @@
+package harness
+
+// Spec declares a run matrix as a cross product of named axes. Empty
+// axes contribute a single "" coordinate so callers only fill the axes
+// their experiment sweeps; Rounds <= 0 means one round. Cells are
+// enumerated devices-major, rounds-minor:
+//
+//	for device { for scenario { for scheme { for variant { for round } } } }
+//
+// which keeps round repetitions of one configuration adjacent, so
+// runners can reduce a flat result slice group-by-group.
+type Spec struct {
+	Devices   []string
+	Scenarios []string
+	Schemes   []string
+	Variants  []string
+	Rounds    int
+}
+
+func axis(vals []string) []string {
+	if len(vals) == 0 {
+		return []string{""}
+	}
+	return vals
+}
+
+func (s Spec) rounds() int {
+	if s.Rounds <= 0 {
+		return 1
+	}
+	return s.Rounds
+}
+
+// Size returns the number of cells the spec enumerates.
+func (s Spec) Size() int {
+	return len(axis(s.Devices)) * len(axis(s.Scenarios)) * len(axis(s.Schemes)) *
+		len(axis(s.Variants)) * s.rounds()
+}
+
+// Cells enumerates the matrix. Index and Seed are zero; Map stamps them.
+func (s Spec) Cells() []Cell {
+	cells := make([]Cell, 0, s.Size())
+	for _, d := range axis(s.Devices) {
+		for _, sc := range axis(s.Scenarios) {
+			for _, p := range axis(s.Schemes) {
+				for _, v := range axis(s.Variants) {
+					for r := 0; r < s.rounds(); r++ {
+						cells = append(cells, Cell{Device: d, Scenario: sc, Scheme: p, Variant: v, Round: r})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
