@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's tier-1 gate plus hygiene checks:
-#   gofmt (no unformatted files), go vet, build, and the full test
-#   suite under the race detector (the harness worker pool must stay
-#   race-free at any -workers setting).
+#   gofmt (no unformatted files), go vet, build, the full test suite
+#   under the race detector (the harness worker pool must stay
+#   race-free at any -workers setting), a one-iteration benchmark
+#   smoke pass (benchmarks must at least run), and a golden-file
+#   check on the Perfetto trace exporter.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -16,3 +18,10 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Benchmarks stay runnable: one iteration each, no timing claims.
+go test -run='^$' -bench=. -benchtime=1x ./...
+
+# The Perfetto exporter's output is pinned byte-for-byte; a drift means
+# the golden file needs a deliberate `go test ./internal/trace -update`.
+go test -run=TestExportChromeGolden ./internal/trace/

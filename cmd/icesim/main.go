@@ -24,6 +24,7 @@ import (
 	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/trace"
 	"github.com/eurosys23/ice/internal/workload"
 )
 
@@ -40,6 +41,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "max rounds in flight when -rounds > 1 (0 = GOMAXPROCS)")
 		series   = flag.Bool("series", false, "print the per-second FPS series")
 		traceN   = flag.Int("trace", 0, "record a Systrace-like event ring of this capacity and print its summary")
+		traceOut = flag.String("trace-out", "", "write the recorded trace as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)")
+		stats    = flag.Bool("stats", false, "dump the instrument-registry snapshot (counters, gauges, histograms)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,13 @@ func main() {
 		return
 	}
 
+	// A Perfetto export needs a recorded trace; give -trace-out a roomy
+	// default ring when -trace didn't size one explicitly.
+	traceCap := *traceN
+	if *traceOut != "" && traceCap == 0 {
+		traceCap = 1 << 17
+	}
+
 	res := workload.RunScenario(workload.ScenarioConfig{
 		Scenario: *scenario,
 		Device:   dev,
@@ -81,7 +91,7 @@ func main() {
 		NumBG:    *numBG,
 		Duration: sim.Time(*duration) * sim.Second,
 		Seed:     *seed,
-		TraceCap: *traceN,
+		TraceCap: traceCap,
 	})
 
 	fmt.Printf("device    : %s\n", dev)
@@ -112,11 +122,32 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if res.Trace != nil {
-		fmt.Println("trace summary (count × event, total arg):")
+	if res.Trace != nil && *traceN > 0 {
+		fmt.Println("trace summary (count × event, total args):")
 		for _, s := range res.Trace.Summarize() {
-			fmt.Printf("  %6d  %-8s %-14s argsum=%d\n", s.Count, s.Cat, s.Name, s.ArgSum)
+			fmt.Printf("  %6d  %-8s %-14s argsum=%d arg2sum=%d\n",
+				s.Count, s.Cat, s.Name, s.ArgSum, s.Arg2Sum)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.ExportChrome(f, res.Trace.Events(), res.Subjects); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace     : %d events exported to %s\n", res.Trace.Len(), *traceOut)
+	}
+	if *stats {
+		fmt.Println("instrument registry:")
+		fmt.Print(res.Obs.String())
 	}
 }
 

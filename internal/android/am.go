@@ -140,6 +140,9 @@ func (am *ActivityManager) RequestForeground(name string, onDone func(metrics.La
 		style := "launch-hot"
 		if cold {
 			style = "launch-cold"
+			am.sys.ins.launchCold.Observe(int64(rec.Latency))
+		} else {
+			am.sys.ins.launchHot.Observe(int64(rec.Latency))
 		}
 		am.sys.Trace.Emit(trace.Event{
 			When: end, Cat: trace.CatLaunch, Name: style,

@@ -47,6 +47,15 @@ func (l *LMK) onPressure() {
 
 // kill tears an application down and reindexes the cached list.
 func (l *LMK) kill(victim *Instance) {
+	l.sys.ins.lmkKills.Inc()
+	for _, p := range l.sys.Procs.AliveByUID(victim.UID) {
+		if p.Frozen() {
+			// Killing a frozen app releases its slot in the frozen-set
+			// gauge; the processes themselves die without a thaw.
+			l.sys.ins.frozenApps.Add(-1)
+			break
+		}
+	}
 	l.sys.Trace.Emit(trace.Event{
 		When: l.sys.Eng.Now(), Cat: trace.CatLMK, Name: "kill",
 		Subject: victim.UID, Arg: int64(victim.ResidentPages()),

@@ -191,15 +191,15 @@ func (r *Renderer) postFrame() {
 			// about render time, while pipeline overload shows up as
 			// dropped frames and reduced FPS.
 			r.Rec.RecordFrame(execStart, end)
-			sys.Trace.Emit(trace.Event{
-				When: end, Cat: trace.CatFrame, Name: "frame",
-				Subject: in.UID, Arg: int64(end - execStart),
-			})
+			sys.ins.frameLatency.Observe(int64(end - execStart))
+			sys.Trace.Span(execStart, trace.CatFrame, "frame",
+				in.UID, end-execStart, int64(end-execStart), 0)
 		},
 	}
 	if !sys.Sched.Post(in.uiTask, w) {
 		// Queue full: the frame is dropped outright.
 		r.Rec.RecordDrop(vsync)
+		sys.ins.frameDrops.Inc()
 		sys.Trace.Emit(trace.Event{
 			When: vsync, Cat: trace.CatFrame, Name: "frame-drop", Subject: in.UID,
 		})

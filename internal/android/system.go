@@ -64,6 +64,7 @@ type System struct {
 	Trace *trace.Buffer
 
 	rng *sim.Rand
+	ins sysInstruments
 
 	kswapdProc   *proc.Process
 	kswapdTask   *proc.Task
@@ -95,6 +96,8 @@ func NewSystem(seed int64, dev device.Profile) *System {
 		ThawLatency: 40 * sim.Millisecond,
 		rng:         eng.Rand().Split(),
 	}
+	z.Instrument(eng.Obs())
+	sys.ins.register(eng.Obs())
 	sys.bootKernel()
 	sys.bootServices()
 	sys.AM = newActivityManager(sys)
@@ -222,6 +225,10 @@ func (sys *System) Kick() { sys.Sched.Kick() }
 func (sys *System) EnableTracing(capacity int) *trace.Buffer {
 	if sys.Trace == nil {
 		sys.Trace = trace.NewBuffer(capacity)
+		sys.MM.SetTrace(sys.Trace)
+		sys.Sched.SetTrace(sys.Trace)
+		sys.Disk.SetTrace(sys.Trace)
+		sys.startCounterSampler()
 		sys.MM.OnRefault(func(ev mm.RefaultEvent) {
 			name := "refault-bg"
 			if ev.Foreground {
@@ -243,15 +250,20 @@ func (sys *System) ThawApp(uid int) int {
 	now := sys.Eng.Now()
 	n := 0
 	for _, p := range sys.Procs.AliveByUID(uid) {
+		since := p.FrozenSince()
 		if p.Thaw(now, sys.ThawLatency) {
 			n++
+			sys.ins.frozenUs.Observe(int64(now - since))
 		}
 	}
 	if n > 0 {
+		sys.ins.thawProcs.Add(uint64(n))
+		sys.ins.frozenApps.Add(-1)
 		sys.Eng.After(sys.ThawLatency, sys.Sched.Kick)
-		sys.Trace.Emit(trace.Event{
-			When: now, Cat: trace.CatFreezer, Name: "thaw", Subject: uid, Arg: int64(n),
-		})
+		// The thaw is a span: the app stays unrunnable for ThawLatency
+		// after the un-freeze (the paper's "tens of milliseconds").
+		sys.Trace.Span(now, trace.CatFreezer, "thaw", uid,
+			sys.ThawLatency, int64(n), int64(sys.ThawLatency))
 	}
 	return n
 }
@@ -267,6 +279,8 @@ func (sys *System) FreezeApp(uid int) int {
 		}
 	}
 	if n > 0 {
+		sys.ins.freezeProcs.Add(uint64(n))
+		sys.ins.frozenApps.Add(1)
 		sys.Trace.Emit(trace.Event{
 			When: now, Cat: trace.CatFreezer, Name: "freeze", Subject: uid, Arg: int64(n),
 		})
@@ -281,6 +295,11 @@ func (sys *System) ResetMeasurement() {
 	sys.Sched.ResetStats()
 	sys.AM.Launches.Reset()
 	sys.LMK.Kills = 0
+	frozen := sys.ins.frozenApps.Value()
+	sys.Eng.Obs().Reset()
+	// Level gauges survive the reset: they describe current state, not
+	// accumulated activity.
+	sys.ins.frozenApps.Set(frozen)
 }
 
 // Run advances the simulation by d.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/eurosys23/ice/internal/android"
 	"github.com/eurosys23/ice/internal/mm"
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/predict"
 	"github.com/eurosys23/ice/internal/proc"
 	"github.com/eurosys23/ice/internal/sim"
@@ -101,6 +102,14 @@ type Framework struct {
 	ef sim.Time
 
 	stats Stats
+
+	gR         *obs.Gauge
+	gEf        *obs.Gauge
+	gTableB    *obs.Gauge
+	gFrozen    *obs.Gauge
+	cWhitelist *obs.Counter
+	cFreeze    *obs.Counter
+	cThaw      *obs.Counter
 }
 
 // Attach installs ICE on a system: it builds the mapping table from the
@@ -124,6 +133,14 @@ func Attach(sys *android.System, cfg Config) *Framework {
 		everFrozen:      make(map[int]bool),
 		vendorWhitelist: make(map[int]bool),
 	}
+	reg := sys.Eng.Obs()
+	f.gR = reg.Gauge("ice.intensity_r")
+	f.gEf = reg.Gauge("ice.ef_us")
+	f.gTableB = reg.Gauge("ice.table_bytes")
+	f.gFrozen = reg.Gauge("ice.frozen_set")
+	f.cWhitelist = reg.Counter("ice.whitelist_hits")
+	f.cFreeze = reg.Counter("ice.freeze_actions")
+	f.cThaw = reg.Counter("ice.thaw_actions")
 
 	// Mapping-table maintenance: the only cross-space communication, on
 	// process lifecycle and score changes (§4.2.2).
@@ -253,6 +270,7 @@ func (f *Framework) onRefault(ev mm.RefaultEvent) {
 	if !f.cfg.DisableWhitelist {
 		if entry.Adj <= f.cfg.WhitelistAdj || f.vendorWhitelist[ev.UID] {
 			f.stats.WhitelistHits++
+			f.cWhitelist.Inc()
 			return
 		}
 	}
@@ -289,6 +307,9 @@ func (f *Framework) freezeUID(uid int, addToSet bool) {
 	}
 	f.table.SetFrozen(uid, true)
 	f.stats.FreezeActions++
+	f.cFreeze.Inc()
+	f.gFrozen.Set(int64(len(f.frozen)))
+	f.gTableB.Set(int64(f.table.SizeBytes()))
 }
 
 // ---------- MDT: memory-aware dynamic thawing ----------
@@ -317,6 +338,8 @@ func (f *Framework) computeEf() sim.Time {
 	if ef < f.cfg.Et {
 		ef = f.cfg.Et
 	}
+	f.gR.Set(int64(r))
+	f.gEf.Set(int64(ef))
 	return ef
 }
 
@@ -339,9 +362,11 @@ func (f *Framework) scheduleThawPhase() {
 	for uid := range f.frozen {
 		if f.sys.ThawApp(uid) > 0 {
 			f.stats.ThawActions++
+			f.cThaw.Inc()
 		}
 		f.table.SetFrozen(uid, false)
 	}
+	f.gTableB.Set(int64(f.table.SizeBytes()))
 	f.sys.Eng.After(f.cfg.Et, func() {
 		f.stats.Epochs++
 		// Memory-aware tuning: measure S_am now, at the epoch boundary.

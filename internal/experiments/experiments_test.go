@@ -362,3 +362,45 @@ func TestExperimentDeterminism(t *testing.T) {
 		t.Fatal("parallel pool changed Figure 1's results")
 	}
 }
+
+// The per-cell instrument counters embedded in -json output must agree
+// with the figure's own columns: both reduce per-round values with the
+// same integer sum/n arithmetic from the same measurement window.
+func TestFigure10CountersCrossCheck(t *testing.T) {
+	res, err := Figure10(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Counters == nil {
+			t.Fatalf("%s/%s: no embedded counters", c.Scenario, c.Scheme)
+		}
+		checks := []struct {
+			name string
+			want uint64
+		}{
+			{"mm.reclaim.pages", c.Reclaimed},
+			{"mm.refault.pages", c.Refaulted},
+			{"mm.refault.fg", c.RefaultFG},
+			{"mm.refault.bg", c.RefaultBG},
+		}
+		for _, ch := range checks {
+			if got := c.Counters[ch.name]; got != ch.want {
+				t.Errorf("%s/%s: %s = %d, figure row says %d",
+					c.Scenario, c.Scheme, ch.name, got, ch.want)
+			}
+		}
+	}
+	// The embedded counters survive a JSON round trip (the -json path).
+	var rt Figure10Result
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cells[0].Counters["mm.reclaim.pages"] != res.Cells[0].Counters["mm.reclaim.pages"] {
+		t.Fatal("counters lost in JSON round trip")
+	}
+}

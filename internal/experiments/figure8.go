@@ -23,6 +23,11 @@ type Figure8Cell struct {
 	// IORequests and CPUUtil feed the §6.2.2 analysis.
 	IOPages uint64
 	CPUUtil float64
+	// Counters embeds the per-cell instrument-registry counters (integer
+	// per-round mean, same arithmetic as the figure columns above), keyed
+	// by instrument name. Map keys marshal sorted, so -json output stays
+	// deterministic.
+	Counters map[string]uint64 `json:",omitempty"`
 }
 
 // Figure8Result is the headline evaluation: FPS and RIA for the four
@@ -84,7 +89,9 @@ func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios 
 	for g := 0; g < len(runs); g += o.Rounds {
 		var fps, ria, util, frozen harness.Agg
 		var reclaimed, refaulted, refaultFG, refaultBG, ioPages harness.Counter
+		var snaps harness.SnapshotAgg
 		for _, res := range runs[g : g+o.Rounds] {
+			snaps.Add(res.Obs)
 			fps.Add(res.Frames.AvgFPS())
 			ria.Add(res.Frames.RIA())
 			util.Add(res.CPU.Utilization())
@@ -109,6 +116,7 @@ func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios 
 			RefaultFG:  refaultFG.Mean(),
 			RefaultBG:  refaultBG.Mean(),
 			IOPages:    ioPages.Mean(),
+			Counters:   snaps.MeanCounters(),
 		})
 	}
 	return cells, nil

@@ -1,6 +1,9 @@
 package harness
 
-import "github.com/eurosys23/ice/internal/metrics"
+import (
+	"github.com/eurosys23/ice/internal/metrics"
+	"github.com/eurosys23/ice/internal/obs"
+)
 
 // Agg accumulates float64 samples for the reduce step that follows a
 // Map: runners push one sample per cell of a group and read the group
@@ -43,4 +46,60 @@ func (c *Counter) Mean() uint64 {
 		return 0
 	}
 	return c.sum / c.n
+}
+
+// SnapshotAgg accumulates obs registry snapshots across the cells of a
+// group, giving BENCH runs sim-internal counters next to the wall-clock
+// timing. Counters reduce with the same integer sum/n arithmetic as
+// Counter, so snapshot-derived means agree exactly with figure rows
+// reduced through Counter.
+type SnapshotAgg struct {
+	counters map[string]*Counter
+	n        uint64
+}
+
+// Add folds one snapshot's counters into the aggregate.
+func (s *SnapshotAgg) Add(snap obs.Snapshot) {
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	s.n++
+	for _, c := range snap.Counters {
+		agg := s.counters[c.Name]
+		if agg == nil {
+			agg = &Counter{}
+			s.counters[c.Name] = agg
+		}
+		agg.Add(c.Value)
+	}
+}
+
+// N returns the number of snapshots folded in.
+func (s *SnapshotAgg) N() uint64 { return s.n }
+
+// Sum returns the accumulated total of the named counter.
+func (s *SnapshotAgg) Sum(name string) uint64 {
+	if c := s.counters[name]; c != nil {
+		return c.Sum()
+	}
+	return 0
+}
+
+// Mean returns the per-snapshot integer mean of the named counter.
+func (s *SnapshotAgg) Mean(name string) uint64 {
+	if c := s.counters[name]; c != nil {
+		return c.Mean()
+	}
+	return 0
+}
+
+// MeanCounters returns every counter's per-snapshot mean, keyed by name.
+// The map is freshly allocated; iteration order is the caller's concern
+// (sort keys before printing).
+func (s *SnapshotAgg) MeanCounters() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Mean()
+	}
+	return out
 }

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/eurosys23/ice/internal/obs"
 )
 
 func TestSpecCellsCrossProduct(t *testing.T) {
@@ -263,5 +265,40 @@ func TestMapNoSharedStateRaces(t *testing.T) {
 		if v != i*2 {
 			t.Fatalf("slot %d = %d", i, v)
 		}
+	}
+}
+
+func TestSnapshotAgg(t *testing.T) {
+	snap := func(reclaim, refault uint64) obs.Snapshot {
+		r := obs.NewRegistry()
+		r.Counter("mm.reclaim.pages").Add(reclaim)
+		r.Counter("mm.refault.pages").Add(refault)
+		return r.Snapshot()
+	}
+	var s SnapshotAgg
+	if s.N() != 0 || s.Sum("mm.reclaim.pages") != 0 || s.Mean("x") != 0 {
+		t.Fatal("zero-value SnapshotAgg not empty")
+	}
+	if len(s.MeanCounters()) != 0 {
+		t.Fatal("zero-value MeanCounters not empty")
+	}
+	s.Add(snap(10, 4))
+	s.Add(snap(21, 5))
+	if s.N() != 2 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Sum("mm.reclaim.pages") != 31 {
+		t.Fatalf("sum %d", s.Sum("mm.reclaim.pages"))
+	}
+	// Integer mean: identical arithmetic to Counter.Mean (31/2 = 15).
+	var c Counter
+	c.Add(10)
+	c.Add(21)
+	if s.Mean("mm.reclaim.pages") != c.Mean() || s.Mean("mm.reclaim.pages") != 15 {
+		t.Fatalf("mean %d, Counter.Mean %d", s.Mean("mm.reclaim.pages"), c.Mean())
+	}
+	m := s.MeanCounters()
+	if m["mm.reclaim.pages"] != 15 || m["mm.refault.pages"] != 4 {
+		t.Fatalf("MeanCounters %v", m)
 	}
 }

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/eurosys23/ice/internal/sim"
@@ -74,12 +75,11 @@ func (r *FrameRecorder) RecordFrame(vsync, finish sim.Time) {
 }
 
 // RecordDrop registers a frame dropped outright (the render queue was
-// full). Dropped frames count as interaction alerts.
+// full). Dropped frames are NOT interaction alerts: they never render, so
+// they depress FPS and are reported via DropShare, consistent with RIA()
+// counting only rendered frames that missed the 16.6 ms budget.
 func (r *FrameRecorder) RecordDrop(now sim.Time) {
 	r.dropped++
-	sec := r.secondAt(now)
-	r.jankPerSecond = grow(r.jankPerSecond, sec)
-	r.jankPerSecond[sec]++
 }
 
 // FrameStats is an immutable summary of a recorder window.
@@ -218,7 +218,11 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Percentile returns the p-th percentile (0-100) of xs by nearest-rank.
+// Percentile returns the p-th percentile (0-100) of xs by nearest-rank:
+// the smallest element with at least ceil(p/100·n) elements at or below
+// it. (The naive int(p/100*n) index over-shoots by one rank whenever
+// p/100·n lands exactly on an integer — e.g. p=50, n=10 must select the
+// 5th element, index 4.)
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -231,7 +235,10 @@ func Percentile(xs []float64, p float64) float64 {
 	if p >= 100 {
 		return sorted[len(sorted)-1]
 	}
-	rank := int(p / 100 * float64(len(sorted)))
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
 	if rank >= len(sorted) {
 		rank = len(sorted) - 1
 	}

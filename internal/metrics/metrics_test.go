@@ -183,3 +183,49 @@ func TestRIABounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Nearest-rank boundary cases: the rank is ceil(p/100·n), so p50 at even n
+// must select the lower of the two middle elements (rank n/2, not n/2+1).
+func TestPercentileNearestRankBoundaries(t *testing.T) {
+	seq := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		return xs
+	}
+	cases := []struct {
+		n    int
+		p    float64
+		want float64
+	}{
+		{1, 0, 1}, {1, 50, 1}, {1, 95, 1}, {1, 100, 1},
+		{10, 0, 1}, {10, 50, 5}, {10, 95, 10}, {10, 100, 10},
+		{11, 0, 1}, {11, 50, 6}, {11, 95, 11}, {11, 100, 11},
+	}
+	for _, c := range cases {
+		if got := Percentile(seq(c.n), c.p); got != c.want {
+			t.Errorf("Percentile(1..%d, p%g) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// RecordDrop must count toward Dropped/DropShare only: a dropped frame
+// never rendered, so it is not an interaction alert and RIA ignores it.
+func TestRecordDropNotJank(t *testing.T) {
+	r := NewFrameRecorder(0)
+	r.RecordFrame(0, 5*sim.Millisecond) // rendered on time
+	for i := 0; i < 3; i++ {
+		r.RecordDrop(sim.Time(i) * 100 * sim.Millisecond)
+	}
+	st := r.Snapshot(sim.Second)
+	if st.Dropped != 3 || st.Janky != 0 {
+		t.Fatalf("dropped=%d janky=%d, want 3/0", st.Dropped, st.Janky)
+	}
+	if st.RIA() != 0 {
+		t.Fatalf("RIA %v, want 0: drops are not interaction alerts", st.RIA())
+	}
+	if st.DropShare() != 0.75 {
+		t.Fatalf("DropShare %v, want 0.75", st.DropShare())
+	}
+}

@@ -50,10 +50,17 @@ func (m *Manager) Touch(pid int, ids []PageID) Cost {
 	// which a foreground task that stays fully resident would be
 	// unrealistically immune.
 	if len(ids) > 0 {
-		wait := m.readerLockWait() + m.thrashStall()
-		if wait > 0 {
+		lockW := m.readerLockWait()
+		thrashW := m.thrashStall()
+		if wait := lockW + thrashW; wait > 0 {
 			cost.Stall += wait
 			m.stats.ContentionStall += wait
+			if lockW > 0 {
+				m.ins.lockWait.Observe(int64(lockW))
+			}
+			if thrashW > 0 {
+				m.ins.thrashStall.Observe(int64(thrashW))
+			}
 		}
 	}
 	if fileReads > 0 {
@@ -97,10 +104,14 @@ func (m *Manager) refault(id PageID, fileReads *int) Cost {
 	m.stats.Total.Refaulted++
 	m.stats.RefaultByClass[p.class]++
 	m.stats.RefaultDistanceSum += distance
+	m.ins.refaultPages.Inc()
+	m.ins.refaultByClass[p.class].Inc()
 	if fg {
 		m.stats.RefaultFG++
+		m.ins.refaultFG.Inc()
 	} else {
 		m.stats.RefaultBG++
+		m.ins.refaultBG.Inc()
 	}
 	c := m.perUID[int(p.uid)]
 	if c == nil {

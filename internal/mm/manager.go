@@ -5,6 +5,7 @@ import (
 
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/storage"
+	"github.com/eurosys23/ice/internal/trace"
 	"github.com/eurosys23/ice/internal/zram"
 )
 
@@ -227,6 +228,9 @@ type Manager struct {
 	series  seriesRecorder
 	perUID  map[int]*Counter
 	started sim.Time
+
+	ins instruments
+	tr  *trace.Buffer
 }
 
 // New creates a memory manager.
@@ -251,6 +255,7 @@ func New(eng *sim.Engine, cfg Config, z *zram.Zram, disk *storage.Device) *Manag
 	for i := range m.lists {
 		m.lists[i] = newLRUList()
 	}
+	m.ins.register(eng.Obs())
 	return m
 }
 
@@ -352,6 +357,7 @@ func (m *Manager) wakeKswapd() {
 	}
 	m.kswapdWanted = true
 	m.stats.KswapdWakeups++
+	m.ins.kswapdWakeups.Inc()
 	if m.kswapdWaker != nil {
 		m.kswapdWaker()
 	}
@@ -404,6 +410,7 @@ func (m *Manager) lockWait(hold sim.Time, charge bool) sim.Time {
 	m.lockBusyUntil += hold
 	if charge && wait > 0 {
 		m.stats.ContentionStall += wait
+		m.ins.lockWait.Observe(int64(wait))
 	}
 	if !charge {
 		wait = 0

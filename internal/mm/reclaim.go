@@ -1,6 +1,9 @@
 package mm
 
-import "github.com/eurosys23/ice/internal/sim"
+import (
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/trace"
+)
 
 // EvictionPolicy lets schemes steer reclaim victim selection. Acclaim's
 // foreground-aware eviction (FAE) is implemented as a policy; the default
@@ -168,6 +171,7 @@ func (m *Manager) reclaimPages(target int) reclaimResult {
 				// ZRAM full: anonymous reclaim is off the table. Rotate and
 				// remember the rejection; file pages may still be viable.
 				m.stats.ZramRejects++
+				m.ins.zramRejects.Inc()
 				m.addToLRU(id, activeList(p.class))
 				continue
 			}
@@ -199,18 +203,21 @@ func (m *Manager) reclaimPages(target int) reclaimResult {
 		// (delaying foreground reads — interference source two in §2.2.3).
 		m.disk.Write(res.writeback, nil)
 		m.stats.WritebackPages += uint64(res.writeback)
+		m.ins.writebackPages.Add(uint64(res.writeback))
 	}
 	// Reclaim holds the LRU/zone lock while it isolates and unmaps pages;
 	// that occupancy is what concurrent faulting tasks queue behind.
 	if res.reclaimed > 0 {
 		m.lockWait(sim.Time(res.reclaimed)*m.cfg.LockHoldPerReclaim, false)
 	}
+	m.ins.reclaimScans.Add(uint64(res.scanned))
 	return res
 }
 
 func (m *Manager) noteReclaim(c Class, cheap bool) {
 	m.stats.Total.Reclaimed++
 	m.stats.ReclaimByClass[c]++
+	m.ins.reclaimPages.Inc()
 	m.series.noteReclaim(m.second())
 	// Weights in tenths: dropping clean file cache is cheap; unmapping and
 	// compressing anonymous pages costs more; refault service (weighted in
@@ -231,6 +238,8 @@ func (m *Manager) KswapdStep() (cpu sim.Time, reclaimed int, more bool) {
 	}
 	res := m.reclaimPages(m.cfg.KswapdBatch)
 	m.stats.KswapdReclaimed += uint64(res.reclaimed)
+	m.tr.Span(m.eng.Now(), trace.CatMM, "kswapd-reclaim", 0, res.cpu,
+		int64(res.reclaimed), int64(res.scanned))
 	if res.reclaimed == 0 {
 		// Nothing reclaimable: give up rather than spin; allocation
 		// pressure will surface through direct reclaim and the LMK.
@@ -245,11 +254,15 @@ func (m *Manager) KswapdStep() (cpu sim.Time, reclaimed int, more bool) {
 // which is precisely the priority inversion the paper identifies.
 func (m *Manager) directReclaim(target int) Cost {
 	m.stats.DirectReclaimEpisodes++
+	m.ins.directEpisodes.Inc()
 	res := m.reclaimPages(target)
 	m.stats.DirectReclaimed += uint64(res.reclaimed)
 	var cost Cost
 	cost.Stall = res.cpu
 	cost.Stall += m.lockWait(m.cfg.LockHoldPerOp, true)
+	m.ins.directStall.Observe(int64(cost.Stall))
+	m.tr.Span(m.eng.Now(), trace.CatMM, "direct-reclaim", 0, cost.Stall,
+		int64(res.reclaimed), int64(target))
 	if res.reclaimed == 0 {
 		// Reclaim failed outright: raise memory pressure so the LMK can
 		// kill a cached app.

@@ -11,8 +11,10 @@ package sched
 import (
 	"sort"
 
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/proc"
 	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/trace"
 )
 
 // Quantum is the scheduling tick length.
@@ -104,6 +106,10 @@ type Scheduler struct {
 
 	// scratch avoids per-tick allocation.
 	scratch []*proc.Task
+
+	quanta   [numCPUClasses]*obs.Counter
+	runqueue *obs.Gauge
+	tr       *trace.Buffer
 }
 
 // New creates a scheduler with the given core count.
@@ -114,8 +120,18 @@ func New(eng *sim.Engine, cores int) *Scheduler {
 	s := &Scheduler{eng: eng, cores: cores, fgUID: -1}
 	s.weight = func(t *proc.Task) int { return t.Weight }
 	s.speed = func(*proc.Task) float64 { return 1 }
+	reg := eng.Obs()
+	s.quanta[CPUKernel] = reg.Counter("sched.quanta.kernel")
+	s.quanta[CPUService] = reg.Counter("sched.quanta.service")
+	s.quanta[CPUForegroundApp] = reg.Counter("sched.quanta.fg_app")
+	s.quanta[CPUBackgroundApp] = reg.Counter("sched.quanta.bg_app")
+	s.runqueue = reg.Gauge("sched.runqueue.depth")
 	return s
 }
+
+// SetTrace attaches a trace buffer; the scheduler emits one CatSched span
+// per executed quantum into it. A nil buffer is valid.
+func (s *Scheduler) SetTrace(b *trace.Buffer) { s.tr = b }
 
 // SetSpeedFn installs a per-task execution-speed policy in (0, ~1.5]: a
 // task at speed 0.4 occupies a core for a full quantum but completes only
@@ -189,6 +205,15 @@ func (s *Scheduler) Post(t *proc.Task, w *proc.Work) bool {
 	return ok
 }
 
+// quantumName maps a CPU class to the static span label used for
+// CatSched trace events (Event.Name must not be built per call).
+var quantumName = [numCPUClasses]string{
+	CPUKernel:        "quantum-kernel",
+	CPUService:       "quantum-service",
+	CPUForegroundApp: "quantum-fg",
+	CPUBackgroundApp: "quantum-bg",
+}
+
 func (s *Scheduler) classify(t *proc.Task) CPUClass {
 	switch t.Proc.Kind {
 	case proc.KindKernel:
@@ -243,6 +268,7 @@ func (s *Scheduler) tick() {
 		}
 	}
 	s.scratch = runnable
+	s.runqueue.Set(int64(len(runnable)))
 
 	if len(runnable) == 0 {
 		s.tickArmed = false
@@ -299,7 +325,11 @@ func (s *Scheduler) tick() {
 				w = proc.DefaultWeight
 			}
 			t.VRuntime += int64(coreTime) * proc.DefaultWeight / int64(w)
-			s.noteBusy(s.classify(t), coreTime)
+			class := s.classify(t)
+			s.noteBusy(class, coreTime)
+			s.quanta[class].Inc()
+			s.tr.Span(now, trace.CatSched, quantumName[class], t.Proc.PID,
+				coreTime, int64(used), int64(t.Proc.UID))
 		}
 		if blockedUntil > 0 {
 			task := t

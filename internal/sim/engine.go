@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"github.com/eurosys23/ice/internal/obs"
 )
 
 // event is a scheduled callback. Events at equal times dispatch in
@@ -41,14 +43,21 @@ type Engine struct {
 	heap eventHeap
 	seq  uint64
 	rng  *Rand
+	obs  *obs.Registry
 
 	dispatched uint64
 }
 
-// NewEngine returns an engine at time zero with a PRNG seeded by seed.
+// NewEngine returns an engine at time zero with a PRNG seeded by seed and
+// a fresh instrument registry.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: NewRand(seed)}
+	return &Engine{rng: NewRand(seed), obs: obs.NewRegistry()}
 }
+
+// Obs returns the engine's instrument registry. Every subsystem attached
+// to this engine registers its named counters, gauges and histograms
+// here, so one snapshot covers the whole simulated device.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }

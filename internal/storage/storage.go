@@ -13,7 +13,9 @@ package storage
 import (
 	"fmt"
 
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/trace"
 )
 
 // Params describes a flash device class. Latencies are per simulated page
@@ -72,6 +74,12 @@ type Device struct {
 	writeBusyUntil sim.Time
 
 	stats Stats
+
+	pagesRead    *obs.Counter
+	pagesWritten *obs.Counter
+	readWait     *obs.Histogram
+	writeBacklog *obs.Gauge
+	tr           *trace.Buffer
 }
 
 // Queueing couplings. NCQ re-ordering means one request never waits for
@@ -90,8 +98,20 @@ func New(eng *sim.Engine, params Params) *Device {
 	if params.ReadLatency <= 0 || params.WriteLatency <= 0 {
 		panic(fmt.Sprintf("storage: non-positive latency in params %+v", params))
 	}
-	return &Device{eng: eng, params: params}
+	reg := eng.Obs()
+	return &Device{
+		eng:          eng,
+		params:       params,
+		pagesRead:    reg.Counter("io.pages_read"),
+		pagesWritten: reg.Counter("io.pages_written"),
+		readWait:     reg.Histogram("io.read.queue_wait_us"),
+		writeBacklog: reg.Gauge("io.write.backlog_us"),
+	}
 }
+
+// SetTrace attaches a trace buffer; the device emits CatIO spans for every
+// request into it. A nil buffer is valid.
+func (d *Device) SetTrace(b *trace.Buffer) { d.tr = b }
 
 // Params returns the device class parameters.
 func (d *Device) Params() Params { return d.params }
@@ -135,15 +155,15 @@ func (d *Device) writeInterference(now sim.Time) sim.Time {
 // completion time, letting synchronous callers compute the stall they must
 // charge.
 func (d *Device) Read(n int, done func()) sim.Time {
-	return d.read(n, d.params.ReadLatency, done)
+	return d.read(n, d.params.ReadLatency, "flash-read", done)
 }
 
 // ReadRandom enqueues a random read of n pages (refault service).
 func (d *Device) ReadRandom(n int, done func()) sim.Time {
-	return d.read(n, d.params.RandReadLatency, done)
+	return d.read(n, d.params.RandReadLatency, "flash-read-rand", done)
 }
 
-func (d *Device) read(n int, perPage sim.Time, done func()) sim.Time {
+func (d *Device) read(n int, perPage sim.Time, name string, done func()) sim.Time {
 	now := d.eng.Now()
 	if n <= 0 {
 		return now
@@ -164,6 +184,9 @@ func (d *Device) read(n int, perPage sim.Time, done func()) sim.Time {
 	d.stats.BusyTime += service
 	d.stats.ReadRequests++
 	d.stats.PagesRead += uint64(n)
+	d.pagesRead.Add(uint64(n))
+	d.readWait.Observe(int64(wait))
+	d.tr.Span(start, trace.CatIO, name, 0, service, int64(n), int64(wait))
 	if done != nil {
 		d.eng.At(end, done)
 	}
@@ -186,6 +209,9 @@ func (d *Device) Write(n int, done func()) sim.Time {
 	d.stats.BusyTime += service
 	d.stats.WriteRequests++
 	d.stats.PagesWritten += uint64(n)
+	d.pagesWritten.Add(uint64(n))
+	d.writeBacklog.Set(int64(d.writeBusyUntil - now))
+	d.tr.Span(start, trace.CatIO, "flash-write", 0, service, int64(n), int64(start-now))
 	if done != nil {
 		d.eng.At(d.writeBusyUntil, done)
 	}

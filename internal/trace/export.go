@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ExportChrome writes events as Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load). Sim time is microseconds, which is
+// exactly the trace-event "ts"/"dur" unit, so timestamps pass through
+// unchanged.
+//
+// Layout: each event's Subject becomes its "pid" so every process gets
+// its own track group; within a process, each category is one named
+// thread track. KindCounter samples become counter tracks ("ph":"C")
+// pinned to pid 0 so they render device-wide. names maps subjects to
+// display names for the process_name metadata; unnamed subjects fall
+// back to "system" (0) or "pid-N".
+//
+// Output is deterministic for a given input: metadata is sorted, events
+// keep their given order, and JSON object keys are emitted in sorted
+// order (encoding/json marshals maps that way).
+func ExportChrome(w io.Writer, events []Event, names map[int]string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(m map[string]interface{}) error {
+		b, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Collect the processes and per-process category threads in play so
+	// Perfetto shows meaningful track names instead of bare numbers.
+	pids := map[int]bool{}
+	threads := map[[2]int]Category{}
+	for _, ev := range events {
+		if ev.Kind == KindCounter {
+			pids[0] = true
+			continue
+		}
+		pids[ev.Subject] = true
+		threads[[2]int{ev.Subject, int(ev.Cat) + 1}] = ev.Cat
+	}
+	sortedPids := make([]int, 0, len(pids))
+	for pid := range pids {
+		sortedPids = append(sortedPids, pid)
+	}
+	sort.Ints(sortedPids)
+	for _, pid := range sortedPids {
+		name := names[pid]
+		if name == "" {
+			if pid == 0 {
+				name = "system"
+			} else {
+				name = fmt.Sprintf("pid-%d", pid)
+			}
+		}
+		err := emit(map[string]interface{}{
+			"name": "process_name", "ph": "M", "pid": pid,
+			"args": map[string]interface{}{"name": name},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sortedThreads := make([][2]int, 0, len(threads))
+	for k := range threads {
+		sortedThreads = append(sortedThreads, k)
+	}
+	sort.Slice(sortedThreads, func(i, j int) bool {
+		if sortedThreads[i][0] != sortedThreads[j][0] {
+			return sortedThreads[i][0] < sortedThreads[j][0]
+		}
+		return sortedThreads[i][1] < sortedThreads[j][1]
+	})
+	for _, k := range sortedThreads {
+		err := emit(map[string]interface{}{
+			"name": "thread_name", "ph": "M", "pid": k[0], "tid": k[1],
+			"args": map[string]interface{}{"name": threads[k].String()},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, ev := range events {
+		var m map[string]interface{}
+		switch ev.Kind {
+		case KindCounter:
+			m = map[string]interface{}{
+				"name": ev.Name, "cat": ev.Cat.String(), "ph": "C",
+				"ts": int64(ev.When), "pid": 0,
+				"args": map[string]interface{}{"value": ev.Arg},
+			}
+		case KindSpan:
+			m = map[string]interface{}{
+				"name": ev.Name, "cat": ev.Cat.String(), "ph": "X",
+				"ts": int64(ev.When), "dur": int64(ev.Dur),
+				"pid": ev.Subject, "tid": int(ev.Cat) + 1,
+				"args": map[string]interface{}{"arg": ev.Arg, "arg2": ev.Arg2},
+			}
+		default: // KindInstant
+			m = map[string]interface{}{
+				"name": ev.Name, "cat": ev.Cat.String(), "ph": "i", "s": "t",
+				"ts":  int64(ev.When),
+				"pid": ev.Subject, "tid": int(ev.Cat) + 1,
+				"args": map[string]interface{}{"arg": ev.Arg, "arg2": ev.Arg2},
+			}
+		}
+		if err := emit(m); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

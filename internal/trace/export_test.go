@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// exportFixture is a small but representative event mix: spans on two
+// subjects across three categories, one instant, and two counter samples
+// forming a counter track.
+func exportFixture() ([]Event, map[int]string) {
+	bp := NewBuffer(16)
+	bp.Span(100, CatMM, "kswapd-reclaim", 0, 250, 32, 128)
+	bp.Span(400, CatSched, "quantum-fg", 7, 4000, 4000, 10001)
+	bp.Span(600, CatIO, "flash-read", 0, 80, 4, 15)
+	bp.Emit(Event{When: 900, Cat: CatFreezer, Name: "freeze", Subject: 10002, Arg: 3})
+	bp.Count(1000, CatMM, "Sam", 52000)
+	bp.Count(1200, CatMM, "Sam", 51000)
+	names := map[int]string{0: "system", 7: "surfaceflinger", 10002: "com.tencent.pubg"}
+	return bp.Events(), names
+}
+
+// TestExportChromeGolden pins the exact exporter output byte-for-byte so
+// accidental format or determinism regressions show up as a diff.
+func TestExportChromeGolden(t *testing.T) {
+	events, names := exportFixture()
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, events, names); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exporter output drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExportChromeStructure validates the output as Chrome trace-event
+// JSON: it must parse, carry the right phases, and name every track.
+func TestExportChromeStructure(t *testing.T) {
+	events, names := exportFixture()
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, events, names); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Args map[string]interface{}
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	procNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procNames[ev.Pid] = ev.Args["name"].(string)
+		}
+	}
+	// 3 spans + 1 instant + 2 counter samples + metadata.
+	if phases["X"] != 3 || phases["i"] != 1 || phases["C"] != 2 {
+		t.Errorf("phase counts = %v, want X:3 i:1 C:2", phases)
+	}
+	if phases["M"] == 0 {
+		t.Error("no metadata records emitted")
+	}
+	for pid, want := range names {
+		if procNames[pid] != want {
+			t.Errorf("process %d named %q, want %q", pid, procNames[pid], want)
+		}
+	}
+	// Spans must map pid=Subject, tid=category+1, and keep ts/dur.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Tid == 0 {
+			t.Errorf("span %q on tid 0 (reserved)", ev.Name)
+		}
+		if ev.Name == "quantum-fg" && (ev.Pid != 7 || ev.Ts != 400 || ev.Dur != 4000) {
+			t.Errorf("quantum-fg span mapped wrongly: %+v", ev)
+		}
+	}
+	// Counter samples render device-wide on pid 0.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "C" && ev.Pid != 0 {
+			t.Errorf("counter %q on pid %d, want 0", ev.Name, ev.Pid)
+		}
+	}
+}
+
+// TestExportChromeEmpty keeps the exporter valid for zero events.
+func TestExportChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+}
+
+func TestSpanClampsNegativeDur(t *testing.T) {
+	b := NewBuffer(4)
+	b.Span(100, CatMM, "s", 0, -5, 0, 0)
+	evs := b.Events()
+	if len(evs) != 1 || evs[0].Dur != 0 {
+		t.Fatalf("negative dur not clamped: %+v", evs)
+	}
+}
+
+func TestNilBufferSpanCount(t *testing.T) {
+	var b *Buffer
+	b.Span(0, CatMM, "s", 0, 10, 1, 2) // must not panic
+	b.Count(0, CatMM, "c", 3)
+	if b.Len() != 0 {
+		t.Fatal("nil buffer recorded events")
+	}
+}
+
+func TestSummarizeArg2Sum(t *testing.T) {
+	b := NewBuffer(8)
+	b.Span(0, CatIO, "flash-read", 0, 10, 4, 100)
+	b.Span(20, CatIO, "flash-read", 0, 10, 4, 250)
+	sum := b.Summarize()
+	if len(sum) != 1 || sum[0].Arg2Sum != 350 || sum[0].ArgSum != 8 {
+		t.Fatalf("summary %+v, want Arg2Sum=350 ArgSum=8", sum)
+	}
+}

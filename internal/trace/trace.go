@@ -25,6 +25,7 @@ const (
 	CatLaunch                  // application launches
 	CatLMK                     // low-memory kills
 	CatSched                   // scheduling notes
+	CatIO                      // flash storage requests
 	numCategories
 )
 
@@ -43,23 +44,43 @@ func (c Category) String() string {
 		return "lmk"
 	case CatSched:
 		return "sched"
+	case CatIO:
+		return "io"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
 }
+
+// Kind distinguishes the three trace-event shapes, mirroring the Chrome
+// trace-event phases the exporter maps them to.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindInstant is a point event (Chrome phase "i").
+	KindInstant Kind = iota
+	// KindSpan is a duration event: [When, When+Dur] (Chrome phase "X").
+	KindSpan
+	// KindCounter is a sampled counter value carried in Arg (Chrome
+	// phase "C"); counter samples of one Name form a counter track.
+	KindCounter
+)
 
 // Event is one trace record. Arg/Arg2 are event-specific integers (page
 // counts, latencies in µs, UIDs) so recording never allocates.
 type Event struct {
 	When sim.Time
 	Cat  Category
+	Kind Kind
 	// Name is the event label ("refault", "freeze", "frame", ...). It must
 	// be a static string: the ring stores it by reference.
 	Name string
 	// Subject identifies the actor (a UID, PID or 0).
 	Subject int
-	Arg     int64
-	Arg2    int64
+	// Dur is the span length for KindSpan events (0 otherwise).
+	Dur  sim.Time
+	Arg  int64
+	Arg2 int64
 }
 
 // String renders an event in a Systrace-ish single-line format.
@@ -135,6 +156,27 @@ func (b *Buffer) Emit(ev Event) {
 	}
 }
 
+// Span records a duration event covering [start, start+dur]. Safe on a
+// nil buffer. Negative durations clamp to zero.
+func (b *Buffer) Span(start sim.Time, cat Category, name string, subject int, dur sim.Time, arg, arg2 int64) {
+	if b == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	b.Emit(Event{When: start, Cat: cat, Kind: KindSpan, Name: name,
+		Subject: subject, Dur: dur, Arg: arg, Arg2: arg2})
+}
+
+// Count records one sample of a counter track. Safe on a nil buffer.
+func (b *Buffer) Count(when sim.Time, cat Category, name string, value int64) {
+	if b == nil {
+		return
+	}
+	b.Emit(Event{When: when, Cat: cat, Kind: KindCounter, Name: name, Arg: value})
+}
+
 // Len reports how many events are currently held.
 func (b *Buffer) Len() int {
 	if b == nil {
@@ -180,13 +222,16 @@ func (b *Buffer) Dump(w io.Writer) error {
 	return nil
 }
 
-// Summary aggregates the held events per (category, name): count and total
-// Arg, sorted by count descending. It is the quick who-did-what view.
+// Summary aggregates the held events per (category, name): count and the
+// totals of both args, sorted by count descending. It is the quick
+// who-did-what view; Arg2Sum surfaces the second payload (e.g. wait µs on
+// I/O spans) that latency-carrying events store there.
 type Summary struct {
-	Cat    Category
-	Name   string
-	Count  int
-	ArgSum int64
+	Cat     Category
+	Name    string
+	Count   int
+	ArgSum  int64
+	Arg2Sum int64
 }
 
 // Summarize builds the per-event-kind aggregate.
@@ -205,6 +250,7 @@ func (b *Buffer) Summarize() []Summary {
 		}
 		s.Count++
 		s.ArgSum += ev.Arg
+		s.Arg2Sum += ev.Arg2
 	}
 	out := make([]Summary, 0, len(agg))
 	for _, s := range agg {

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/sim"
+	"github.com/eurosys23/ice/internal/trace"
+)
+
+// Smoke: a traced ICE run on the P20 must light up every major trace
+// category and populate the instrument registry, and the trace's counter
+// samples must form at least three counter tracks for the Perfetto view.
+func TestObservabilitySmoke(t *testing.T) {
+	sch, _ := policy.ByName("Ice")
+	res := RunScenario(ScenarioConfig{
+		Scenario: "S-A",
+		Device:   device.P20,
+		Scheme:   sch,
+		BGCase:   BGApps,
+		Duration: 30 * sim.Second,
+		Seed:     7,
+		TraceCap: 1 << 17,
+	})
+	if res.Trace == nil {
+		t.Fatal("TraceCap set but no trace returned")
+	}
+
+	spans := map[trace.Category]int{}
+	counterTracks := map[string]bool{}
+	for _, ev := range res.Trace.Events() {
+		switch ev.Kind {
+		case trace.KindSpan:
+			spans[ev.Cat]++
+		case trace.KindCounter:
+			counterTracks[ev.Name] = true
+		}
+	}
+	for _, cat := range []trace.Category{
+		trace.CatMM, trace.CatFreezer, trace.CatSched, trace.CatIO, trace.CatFrame,
+	} {
+		if spans[cat] == 0 {
+			t.Errorf("no %s span events recorded", cat)
+		}
+	}
+	if len(counterTracks) < 3 {
+		t.Errorf("only %d counter tracks (%v), want >= 3", len(counterTracks), counterTracks)
+	}
+
+	// The registry must carry each subsystem's headline series.
+	for _, name := range []string{
+		"mm.reclaim.pages", "mm.refault.pages", "io.pages_read",
+		"zram.stored.pages", "freezer.freeze.procs",
+	} {
+		if v, ok := res.Obs.Counter(name); !ok || v == 0 {
+			t.Errorf("counter %s = %d (present=%v), want > 0", name, v, ok)
+		}
+	}
+	for _, class := range []string{"kernel", "service", "fg_app", "bg_app"} {
+		if v, ok := res.Obs.Counter("sched.quanta." + class); !ok || v == 0 {
+			t.Errorf("sched.quanta.%s = %d (present=%v), want > 0", class, v, ok)
+		}
+	}
+	if h, ok := res.Obs.Hist("frame.latency_us"); !ok || h.Count == 0 {
+		t.Error("frame.latency_us histogram empty")
+	}
+	if _, ok := res.Obs.Gauge("ice.intensity_r"); !ok {
+		t.Error("ice.intensity_r gauge missing on an Ice run")
+	}
+
+	// Subjects must name the trace's processes for the exporter.
+	if len(res.Subjects) == 0 {
+		t.Fatal("no subject names collected")
+	}
+}
+
+// The registry's reclaim/refault counters reset with the measurement
+// window, so their totals must agree exactly with mm.Stats.
+func TestObsCountersMatchMMStats(t *testing.T) {
+	res := RunScenario(ScenarioConfig{
+		Scenario: "S-A",
+		Device:   device.P20,
+		Scheme:   policy.Baseline{},
+		BGCase:   BGApps,
+		Duration: 20 * sim.Second,
+		Seed:     13,
+	})
+	check := func(name string, want uint64) {
+		if got, _ := res.Obs.Counter(name); got != want {
+			t.Errorf("%s = %d, mm.Stats says %d", name, got, want)
+		}
+	}
+	check("mm.reclaim.pages", res.Mem.Total.Reclaimed)
+	check("mm.refault.pages", res.Mem.Total.Refaulted)
+	check("mm.refault.fg", res.Mem.RefaultFG)
+	check("mm.refault.bg", res.Mem.RefaultBG)
+	check("mm.direct_reclaim.episodes", uint64(res.Mem.DirectReclaimEpisodes))
+}
+
+// An untraced run must leave every trace hook on its nil path: no buffer,
+// no subjects, and an intact registry snapshot.
+func TestUntracedRunStaysNilSafe(t *testing.T) {
+	sch, _ := policy.ByName("Ice")
+	res := RunScenario(ScenarioConfig{
+		Scenario: "S-B",
+		Device:   device.P20,
+		Scheme:   sch,
+		BGCase:   BGApps,
+		Duration: 10 * sim.Second,
+		Seed:     3,
+	})
+	if res.Trace != nil || res.Subjects != nil {
+		t.Error("untraced run returned trace state")
+	}
+	if len(res.Obs.Counters) == 0 {
+		t.Error("registry snapshot empty without tracing")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/eurosys23/ice/internal/device"
 	"github.com/eurosys23/ice/internal/metrics"
 	"github.com/eurosys23/ice/internal/mm"
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/sched"
 	"github.com/eurosys23/ice/internal/sim"
@@ -107,6 +108,13 @@ type ScenarioResult struct {
 	// Trace holds the recorded event ring when ScenarioConfig.TraceCap was
 	// set (nil otherwise).
 	Trace *trace.Buffer
+	// Subjects maps trace subjects (PIDs, UIDs) to display names for the
+	// Perfetto export. Populated only when TraceCap was set.
+	Subjects map[int]string
+	// Obs is the device's instrument-registry snapshot for the measured
+	// window (counters reset alongside the other stats at measurement
+	// start).
+	Obs obs.Snapshot
 }
 
 // launchTimeout bounds how long the driver waits for one launch sequence.
@@ -240,6 +248,10 @@ func RunScenario(cfg ScenarioConfig) ScenarioResult {
 	res.Zram = sys.Zram.Stats()
 	res.LMKKills = sys.LMK.Kills
 	res.Trace = sys.Trace
+	if sys.Trace != nil {
+		res.Subjects = sys.TraceSubjects()
+	}
+	res.Obs = sys.Eng.Obs().Snapshot()
 	if ice, ok := cfg.Scheme.(*policy.Ice); ok && ice.Framework != nil {
 		res.FrozenApps = ice.Framework.Stats().UniqueFrozenUID
 	}

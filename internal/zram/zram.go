@@ -8,6 +8,7 @@ package zram
 import (
 	"fmt"
 
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/sim"
 )
 
@@ -62,6 +63,14 @@ type Zram struct {
 	compressedPages float64
 
 	stats Stats
+
+	storedCtr    *obs.Counter
+	loadedCtr    *obs.Counter
+	rejectedCtr  *obs.Counter
+	storedGauge  *obs.Gauge
+	footGauge    *obs.Gauge
+	compressUs   *obs.Histogram
+	decompressUs *obs.Histogram
 }
 
 // New creates a ZRAM partition.
@@ -73,6 +82,19 @@ func New(cfg Config) *Zram {
 		panic("zram: compression ratios must exceed 1")
 	}
 	return &Zram{cfg: cfg}
+}
+
+// Instrument registers the partition's instruments on reg. The
+// constructor has no engine handle, so the owning system calls this once
+// at wiring time; an uninstrumented Zram (unit tests) records nothing.
+func (z *Zram) Instrument(reg *obs.Registry) {
+	z.storedCtr = reg.Counter("zram.stored.pages")
+	z.loadedCtr = reg.Counter("zram.loaded.pages")
+	z.rejectedCtr = reg.Counter("zram.rejected.full")
+	z.storedGauge = reg.Gauge("zram.stored_pages")
+	z.footGauge = reg.Gauge("zram.footprint_pages")
+	z.compressUs = reg.Histogram("zram.compress_us")
+	z.decompressUs = reg.Histogram("zram.decompress_us")
 }
 
 // Config returns the partition configuration.
@@ -113,13 +135,23 @@ func (z *Zram) ratio(java bool) float64 {
 func (z *Zram) Store(java bool) (cost sim.Time, ok bool) {
 	if z.Full() {
 		z.stats.RejectedFull++
+		z.rejectedCtr.Inc()
 		return 0, false
 	}
 	z.stored++
 	z.compressedPages += 1 / z.ratio(java)
 	z.stats.StoredTotal++
 	z.stats.CompressTime += z.cfg.CompressLatency
+	z.storedCtr.Inc()
+	z.compressUs.Observe(int64(z.cfg.CompressLatency))
+	z.noteLevels()
 	return z.cfg.CompressLatency, true
+}
+
+// noteLevels refreshes the occupancy gauges after any mutation.
+func (z *Zram) noteLevels() {
+	z.storedGauge.Set(int64(z.stored))
+	z.footGauge.Set(int64(z.FootprintPages()))
 }
 
 // Load decompresses one page out of the partition (a refault) and frees its
@@ -135,6 +167,9 @@ func (z *Zram) Load(java bool) sim.Time {
 	}
 	z.stats.LoadedTotal++
 	z.stats.DecompressTime += z.cfg.DecompressLatency
+	z.loadedCtr.Inc()
+	z.decompressUs.Observe(int64(z.cfg.DecompressLatency))
+	z.noteLevels()
 	return z.cfg.DecompressLatency
 }
 
@@ -149,4 +184,5 @@ func (z *Zram) Drop(java bool) {
 	if z.compressedPages < 0 {
 		z.compressedPages = 0
 	}
+	z.noteLevels()
 }
