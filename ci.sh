@@ -3,8 +3,9 @@
 #   gofmt (no unformatted files), go vet, build, the full test suite
 #   under the race detector (the harness worker pool must stay
 #   race-free at any -workers setting), a one-iteration benchmark
-#   smoke pass (benchmarks must at least run), and a golden-file
-#   check on the Perfetto trace exporter.
+#   smoke pass (benchmarks must at least run), a golden-file
+#   check on the Perfetto trace exporter, and an icesimd smoke test
+#   (boot, health check, one cached job round-trip, SIGTERM drain).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,3 +26,36 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # The Perfetto exporter's output is pinned byte-for-byte; a drift means
 # the golden file needs a deliberate `go test ./internal/trace -update`.
 go test -run=TestExportChromeGolden ./internal/trace/
+
+# icesimd smoke: boot on a random port, health-check, run one tiny job
+# twice (the second answer must come from the result cache), then SIGTERM
+# and require a clean drain.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/icesimd" ./cmd/icesimd
+"$smokedir/icesimd" -addr 127.0.0.1:0 >"$smokedir/log" &
+daemon=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^icesimd listening on //p' "$smokedir/log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "icesimd never reported its port" >&2; cat "$smokedir/log" >&2; exit 1; }
+
+curl -sf "http://$addr/healthz" | grep -q true
+spec='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":1,"seed":11}'
+curl -sf -X POST "http://$addr/jobs" -d "$spec" >/dev/null
+# The NDJSON stream ends when the job does.
+curl -sfN "http://$addr/jobs/job-1/stream" | tail -1 | grep -q '"state":"done"'
+curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/r1"
+curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true'
+curl -sf "http://$addr/jobs/job-2/result" >"$smokedir/r2"
+cmp -s "$smokedir/r1" "$smokedir/r2" || { echo "cached result not byte-identical" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep -q 'service.cache.hits'
+
+kill -TERM "$daemon"
+wait "$daemon" || { echo "icesimd did not drain cleanly" >&2; cat "$smokedir/log" >&2; exit 1; }
+grep -q 'drained, bye' "$smokedir/log"
+
+echo "ci.sh: all checks passed"

@@ -7,10 +7,14 @@
 //	experiments -run fig8 -fast       # one experiment, reduced scale
 //	experiments -run fig8 -workers 4  # at most 4 simulations in flight
 //	experiments -progress             # live completed/total + ETA on stderr
-//	experiments -list                 # enumerate experiment IDs
+//	experiments -list                 # enumerate experiment IDs and axes
 //
 // Experiment IDs: table1, fig1, fig2a, fig2b, fig3, fig4, fig8, fig9,
 // fig10, table5, pressure, fig11, ablations.
+//
+// The CLI resolves experiments through the shared registry in
+// internal/experiments — the same table the icesimd daemon serves — so
+// the two front-ends can never drift.
 //
 // Every experiment executes its cell matrix through internal/harness: a
 // bounded worker pool (default GOMAXPROCS) with per-cell seeds, timing
@@ -31,71 +35,6 @@ import (
 	"github.com/eurosys23/ice/internal/harness"
 )
 
-type runner struct {
-	id   string
-	desc string
-	// exec runs the experiment and returns its paper-style renderer
-	// plus the structured result for -json output.
-	exec func(experiments.Options) (func() string, interface{}, error)
-}
-
-func runners() []runner {
-	return []runner{
-		{"table1", "CPU utilisation vs cached BG apps", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Table1(o)
-			return r.String, r, err
-		}},
-		{"fig1", "FPS per scenario and BG case", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure1(o)
-			return r.String, r, err
-		}},
-		{"fig2a", "reclaim/refault totals per BG case", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure1(o)
-			return r.Figure2aString, r, err
-		}},
-		{"fig2b", "frame rate vs BG-refault deciles", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure2b(o)
-			return r.String, r, err
-		}},
-		{"fig3", "user study: refault ratio and BG share", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure3(o)
-			return r.String, r, err
-		}},
-		{"fig4", "per-process reclaim refault categorisation", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure4(o)
-			return r.String, r, err
-		}},
-		{"fig8", "FPS/RIA per scheme, scenario, device", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure8(o)
-			return r.String, r, err
-		}},
-		{"fig9", "FPS/RIA vs number of cached apps", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure9(o)
-			return r.String, r, err
-		}},
-		{"fig10", "refault/reclaim per scheme", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure10(o)
-			return r.String, r, err
-		}},
-		{"table5", "power-manager freezing vs Ice", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure10(o)
-			return r.Table5String, r, err
-		}},
-		{"pressure", "I/O and CPU pressure reduction", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.SystemPressure(o)
-			return r.String, r, err
-		}},
-		{"fig11", "application launching (speed, hot-launch ratio)", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Figure11(o)
-			return r.String, r, err
-		}},
-		{"ablations", "ICE design-point ablations", func(o experiments.Options) (func() string, interface{}, error) {
-			r, err := experiments.Ablations(o)
-			return r.String, r, err
-		}},
-	}
-}
-
 // cellTiming is one per-cell wall-clock measurement for -json output.
 type cellTiming struct {
 	Device   string  `json:"device,omitempty"`
@@ -115,7 +54,7 @@ type cellFailure struct {
 func main() {
 	var (
 		run      = flag.String("run", "all", "experiment ID, comma list, or 'all'")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		list     = flag.Bool("list", false, "list experiment IDs and axes, then exit")
 		fast     = flag.Bool("fast", false, "reduced rounds/durations")
 		rounds   = flag.Int("rounds", 0, "override repetition count")
 		seed     = flag.Int64("seed", 0, "override base seed")
@@ -125,10 +64,10 @@ func main() {
 	)
 	flag.Parse()
 
-	all := runners()
+	all := experiments.Registry()
 	if *list {
 		for _, r := range all {
-			fmt.Printf("%-10s %s\n", r.id, r.desc)
+			fmt.Printf("%-10s %-50s %s\n", r.ID, r.Desc, r.Axes)
 		}
 		return
 	}
@@ -139,7 +78,7 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 		for id := range want {
-			if !hasRunner(all, id) {
+			if _, ok := experiments.ByID(id); !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 				os.Exit(2)
 			}
@@ -150,7 +89,7 @@ func main() {
 	enc.SetIndent("", "  ")
 	failed := false
 	for _, r := range all {
-		if *run != "all" && !want[r.id] {
+		if *run != "all" && !want[r.ID] {
 			continue
 		}
 
@@ -168,7 +107,7 @@ func main() {
 				}
 				if *progress {
 					fmt.Fprintf(os.Stderr, "\r[%s] %d/%d cells, elapsed %v, eta %v   ",
-						r.id, p.Completed, p.Total,
+						r.ID, p.Completed, p.Total,
 						p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
 					if p.Completed == p.Total {
 						fmt.Fprintln(os.Stderr)
@@ -178,7 +117,7 @@ func main() {
 		}
 
 		start := time.Now()
-		render, data, err := r.exec(opts)
+		render, data, err := r.Run(opts)
 		elapsed := time.Since(start)
 
 		if err != nil {
@@ -189,7 +128,7 @@ func main() {
 					cells = append(cells, cellFailure{Cell: ce.Cell.String(), Panic: fmt.Sprint(ce.Panic)})
 				}
 				obj := map[string]interface{}{
-					"id":         r.id,
+					"id":         r.ID,
 					"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
 					"error": map[string]interface{}{
 						"message": err.Error(),
@@ -200,14 +139,14 @@ func main() {
 					fmt.Fprintln(os.Stderr, encErr)
 				}
 			} else {
-				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
 			}
 			continue
 		}
 
 		if *asJSON {
 			obj := map[string]interface{}{
-				"id":         r.id,
+				"id":         r.ID,
 				"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
 				"cells":      timings,
 				"result":     data,
@@ -218,20 +157,11 @@ func main() {
 			}
 			continue
 		}
-		fmt.Printf("=== %s: %s ===\n", r.id, r.desc)
+		fmt.Printf("=== %s: %s ===\n", r.ID, r.Desc)
 		fmt.Println(render())
-		fmt.Printf("(%s in %v)\n\n", r.id, elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
 	}
 	if failed {
 		os.Exit(1)
 	}
-}
-
-func hasRunner(rs []runner, id string) bool {
-	for _, r := range rs {
-		if r.id == id {
-			return true
-		}
-	}
-	return false
 }

@@ -42,6 +42,10 @@ type Profile struct {
 	// ZramPages is the ZRAM partition capacity in (uncompressed) simulated
 	// pages — Table 4's S parameter.
 	ZramPages int
+	// ZramCodec selects a named compression preset ("lz4", "zstd",
+	// "snappy"); empty keeps zram.DefaultCodec, which is byte-identical
+	// to the historical model. Unknown names panic at wiring time.
+	ZramCodec string
 	// HighWatermarkPages is Table 4's H_wm in simulated pages. Kernel
 	// watermarks are small (a few MB to tens of MB): free memory hovers
 	// just above the low watermark on a full device, which is what makes
@@ -74,9 +78,18 @@ func (p Profile) MMConfig() mm.Config {
 	return cfg
 }
 
-// ZramConfig builds the ZRAM configuration for this device.
+// ZramConfig builds the ZRAM configuration for this device: the
+// selected codec preset (ZramCodec, default lz4) with the latencies
+// scaled by the device's CPU factor.
 func (p Profile) ZramConfig() zram.Config {
 	cfg := zram.DefaultConfig(p.ZramPages)
+	if p.ZramCodec != "" {
+		codec, err := zram.Preset(p.ZramCodec)
+		if err != nil {
+			panic(err)
+		}
+		cfg = codec.Apply(cfg)
+	}
 	cfg.CompressLatency = scale(cfg.CompressLatency, p.CPUFactor)
 	cfg.DecompressLatency = scale(cfg.DecompressLatency, p.CPUFactor)
 	return cfg

@@ -91,7 +91,7 @@ func Ablations(o Options) (AblationResult, error) {
 		refaulted, reclaimed uint64
 		thaws                uint64
 	}
-	runs, err := harness.Map(o.config(), spec.Cells(), func(c harness.Cell) sample {
+	runs, err := mapCells(o, spec.Cells(), func(c harness.Cell) sample {
 		ice := &policy.Ice{Config: variants[c.Index/o.Rounds].cfg()}
 		sres := workload.RunScenario(workload.ScenarioConfig{
 			Scenario: c.Scenario,

@@ -15,6 +15,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/sim"
 )
@@ -38,6 +40,14 @@ type Options struct {
 	// Progress, when non-nil, receives a callback after every completed
 	// matrix cell (serialised by the harness).
 	Progress func(harness.Progress)
+	// Ctx, when non-nil, cancels the run matrix: once Ctx is done no
+	// further cell starts and the runner returns an error wrapping
+	// Ctx.Err() (see harness.MapContext). Nil means run to completion.
+	Ctx context.Context
+	// Slots, when non-nil, is a cell-execution budget shared across
+	// concurrent runners (see harness.Config.Slots); the icesimd daemon
+	// uses it to bound total in-flight simulations across jobs.
+	Slots chan struct{}
 }
 
 func (o Options) withDefaults() Options {
@@ -63,5 +73,20 @@ func (o Options) withDefaults() Options {
 
 // config adapts the options to a harness pool configuration.
 func (o Options) config() harness.Config {
-	return harness.Config{BaseSeed: o.Seed, Workers: o.Workers, Progress: o.Progress}
+	return harness.Config{BaseSeed: o.Seed, Workers: o.Workers, Progress: o.Progress, Slots: o.Slots}
+}
+
+// ctx returns the run context (Background when unset).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// mapCells executes one runner's cell matrix through the harness,
+// honouring Options.Ctx. Every runner funnels its matrix through here so
+// daemon-side job cancellation reaches all 13 experiments uniformly.
+func mapCells[T any](o Options, cells []harness.Cell, fn func(harness.Cell) T) ([]T, error) {
+	return harness.MapContext(o.ctx(), o.config(), cells, fn)
 }

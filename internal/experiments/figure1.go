@@ -68,7 +68,7 @@ func Figure1(o Options) (Figure1Result, error) {
 		Variants:  caseNames,
 		Rounds:    o.Rounds,
 	}
-	runs, err := harness.Map(o.config(), spec.Cells(), func(c harness.Cell) workload.ScenarioResult {
+	runs, err := mapCells(o, spec.Cells(), func(c harness.Cell) workload.ScenarioResult {
 		return workload.RunScenario(workload.ScenarioConfig{
 			Scenario: c.Scenario,
 			Device:   device.P20,

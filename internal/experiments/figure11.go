@@ -55,7 +55,7 @@ func Figure11(o Options) (Figure11Result, error) {
 		row           Figure11SchemeRow
 		worst, normal sim.Time
 	}
-	outs, err := harness.Map(o.config(), cells, func(c harness.Cell) launchOut {
+	outs, err := mapCells(o, cells, func(c harness.Cell) launchOut {
 		if c.Scenario == "worst-case-hot" {
 			worst, normal := workload.WorstCaseHotLaunch(device.P20, c.Seed, apps)
 			return launchOut{worst: worst, normal: normal}

@@ -29,7 +29,7 @@ func Figure2b(o Options) (Figure2bResult, error) {
 		Scenarios: workload.Scenarios(),
 		Rounds:    o.Rounds,
 	}
-	sampleSets, err := harness.Map(o.config(), spec.Cells(), func(c harness.Cell) []metrics.WindowSample {
+	sampleSets, err := mapCells(o, spec.Cells(), func(c harness.Cell) []metrics.WindowSample {
 		res := workload.RunScenario(workload.ScenarioConfig{
 			Scenario: c.Scenario,
 			Device:   device.P20,

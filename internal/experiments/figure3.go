@@ -44,7 +44,7 @@ func Figure3(o Options) (Figure3Result, error) {
 		row      Figure3UserRow
 		timeline workload.UserResult
 	}
-	outs, err := harness.Map(o.config(), cells, func(c harness.Cell) userOut {
+	outs, err := mapCells(o, cells, func(c harness.Cell) userOut {
 		cfg := cfgs[c.Index]
 		cfg.SessionsPerDay = sessions
 		ur := workload.RunUser(cfg)

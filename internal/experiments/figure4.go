@@ -37,7 +37,7 @@ func Figure4(o Options) (Figure4Result, error) {
 		{Device: device.P20.Name, Variant: "gc-on"},
 		{Device: device.P20.Name, Variant: "gc-off"},
 	}
-	rowSets, err := harness.Map(o.config(), cells, func(c harness.Cell) []workload.ReclaimStudyRow {
+	rowSets, err := mapCells(o, cells, func(c harness.Cell) []workload.ReclaimStudyRow {
 		return workload.RunReclaimStudy(device.P20, o.Seed, apps, c.Variant == "gc-off")
 	})
 	if err != nil {

@@ -66,7 +66,7 @@ func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios 
 	for _, d := range devices {
 		profiles[d.Name] = d
 	}
-	runs, err := harness.Map(o.config(), matrixSpec(o, devices, schemes, scenarios).Cells(),
+	runs, err := mapCells(o, matrixSpec(o, devices, schemes, scenarios).Cells(),
 		func(c harness.Cell) workload.ScenarioResult {
 			sch, err := policy.ByName(c.Scheme)
 			if err != nil {

@@ -74,7 +74,7 @@ func Figure9(o Options) (Figure9Result, error) {
 	o = o.withDefaults()
 	type sample struct{ fps, ria float64 }
 	cells := figure9Matrix(o)
-	runs, err := harness.Map(o.config(), cells, func(c harness.Cell) sample {
+	runs, err := mapCells(o, cells, func(c harness.Cell) sample {
 		var numBG int
 		fmt.Sscanf(c.Variant, "bg=%d", &numBG)
 		dev, _ := device.ByName(c.Device)

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRegistryComplete pins the registered experiment IDs: all 13 paper
+// runners, in paper order, each with a description and an axes sketch.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2a", "fig2b", "fig3", "fig4",
+		"fig8", "fig9", "fig10", "table5", "pressure", "fig11", "ablations",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry holds %d runners, want %d: %v", len(got), len(want), got)
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Fatalf("registry[%d] = %q, want %q", i, got[i], id)
+		}
+	}
+	for _, r := range Registry() {
+		if r.Desc == "" || r.Axes == "" {
+			t.Fatalf("runner %q lacks desc or axes", r.ID)
+		}
+	}
+}
+
+func TestRegistryByID(t *testing.T) {
+	r, ok := ByID("fig8")
+	if !ok || r.ID != "fig8" {
+		t.Fatalf("ByID(fig8) = %+v, %v", r, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+}
+
+// TestRegistryRunExecutes runs the cheapest matrix through the registry
+// surface and checks both return channels (renderer and data).
+func TestRegistryRunExecutes(t *testing.T) {
+	r, ok := ByID("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	render, data, err := r.Run(Options{Fast: true, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data == nil || render == nil || render() == "" {
+		t.Fatal("registry run returned empty renderer or data")
+	}
+}
+
+// TestRunnerHonoursCtx: a pre-cancelled Options.Ctx aborts the matrix
+// before any cell simulates and surfaces context.Canceled.
+func TestRunnerHonoursCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, _ := ByID("fig10")
+	_, _, err := r.Run(Options{Fast: true, Rounds: 1, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}

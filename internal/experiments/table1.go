@@ -33,7 +33,7 @@ func Table1(o Options) (Table1Result, error) {
 			Variant: fmt.Sprintf("bg=%d", n),
 		}
 	}
-	rows, err := harness.Map(o.config(), cells, func(c harness.Cell) Table1Row {
+	rows, err := mapCells(o, cells, func(c harness.Cell) Table1Row {
 		n := counts[c.Index]
 		r := workload.RunCPUStudy(workload.DefaultCPUStudyDevice, n, o.Rounds, window, c.Seed)
 		return Table1Row{NumBG: n, Average: r.Average, Peak: r.Peak}

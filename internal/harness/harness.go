@@ -23,6 +23,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -102,6 +103,14 @@ type Config struct {
 	// Calls are serialised by the harness, so the callback may keep
 	// unsynchronised state.
 	Progress func(Progress)
+	// Slots, when non-nil, is an execution budget shared across
+	// concurrent Map/MapContext calls (one daemon serving many jobs):
+	// every executing cell holds one slot, so the channel's capacity
+	// bounds total in-flight cells fleet-wide. Workers still bounds this
+	// call's own concurrency. Under MapContext, a cell claimed while the
+	// budget is exhausted is abandoned (not run) if the context is
+	// cancelled before a slot frees up.
+	Slots chan struct{}
 }
 
 // Progress reports harness advancement after each completed cell.
@@ -161,7 +170,25 @@ func Errs(err error) []*CellError {
 // overwritten. A panicking cell yields a zero result slot and a
 // *CellError; all cell errors are joined (in matrix order) into the
 // returned error while the remaining cells still run to completion.
+//
+// Map never aborts mid-matrix; use MapContext for cancellation.
 func Map[T any](cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
+	return MapContext(context.Background(), cfg, cells, fn)
+}
+
+// MapContext is Map with cooperative cancellation. Cells are claimed in
+// matrix order; once ctx is cancelled no further cell starts, while
+// cells already in flight run to completion (a cell function is not
+// interruptible). The completed cells therefore always form a prefix of
+// the matrix, and because each cell is deterministic in its seed that
+// prefix is byte-identical to the same prefix of an uncancelled run.
+//
+// On cancellation the result slice still has full matrix length — slots
+// whose cell never ran hold zero values — and the returned error joins
+// any per-cell errors with ctx.Err(). Callers distinguish "cancelled"
+// from "cells panicked" with errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) and Errs.
+func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
 	stamped := make([]Cell, len(cells))
 	for i := range cells {
 		c := cells[i]
@@ -192,14 +219,27 @@ func Map[T any](cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(stamped) {
 					return
 				}
 				c := stamped[i]
+				if cfg.Slots != nil {
+					select {
+					case cfg.Slots <- struct{}{}:
+					case <-ctx.Done():
+						return // abandoned: budget exhausted and run cancelled
+					}
+				}
 				cellStart := time.Now()
 				cerr := runCell(c, &out[i], fn)
 				cellTime := time.Since(cellStart)
+				if cfg.Slots != nil {
+					<-cfg.Slots
+				}
 
 				mu.Lock()
 				done++
@@ -226,13 +266,16 @@ func Map[T any](cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
 	}
 	wg.Wait()
 
-	if len(cellErrs) == 0 {
+	if len(cellErrs) == 0 && ctx.Err() == nil {
 		return out, nil
 	}
 	sort.Slice(cellErrs, func(i, j int) bool { return cellErrs[i].Cell.Index < cellErrs[j].Cell.Index })
-	errs := make([]error, len(cellErrs))
-	for i, ce := range cellErrs {
-		errs[i] = ce
+	errs := make([]error, 0, len(cellErrs)+1)
+	for _, ce := range cellErrs {
+		errs = append(errs, ce)
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		errs = append(errs, ctxErr)
 	}
 	return out, errors.Join(errs...)
 }

@@ -1,0 +1,67 @@
+package service
+
+import "container/list"
+
+// cacheEntry is one completed job's payloads: the result JSON exactly as
+// first marshalled (served byte-identical on every hit) and, for traced
+// runs, the Perfetto trace-event JSON.
+type cacheEntry struct {
+	result []byte
+	trace  []byte
+}
+
+// resultCache is a bounded LRU keyed by content-addressed job keys (see
+// JobSpec.cacheKey). Simulations are seeded and deterministic, so a key
+// fully determines the payload; repeated submissions — the common case
+// for sweep tooling — are answered without re-simulating.
+//
+// The cache is not self-locking: the owning Manager serialises access
+// under its mutex, which also keeps the obs instruments race-free.
+type resultCache struct {
+	max   int
+	ll    *list.List // front = most recently used; values are *cacheItem
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key   string
+	entry cacheEntry
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, refreshing its recency.
+func (c *resultCache) get(key string) (cacheEntry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// put stores (or refreshes) key and returns how many old entries were
+// evicted to respect the bound.
+func (c *resultCache) put(key string, e cacheEntry) (evicted int) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).entry = e
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, entry: e})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int { return c.ll.Len() }

@@ -1,0 +1,488 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/eurosys23/ice/internal/harness"
+	"github.com/eurosys23/ice/internal/obs"
+)
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	ErrDraining  = errors.New("service: draining, not accepting jobs")
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// BadSpecError wraps a spec validation failure (HTTP 400).
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return "service: bad job spec: " + e.Err.Error() }
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// Config tunes one Manager.
+type Config struct {
+	// MaxWorkers is the global cell budget shared by every running job
+	// (<=0: GOMAXPROCS). No matter how many jobs run concurrently, at
+	// most this many simulations are in flight.
+	MaxWorkers int
+	// MaxRunningJobs bounds jobs simulating concurrently (<=0: 2);
+	// excess submissions queue.
+	MaxRunningJobs int
+	// MaxQueuedJobs bounds the queue (<=0: 64); beyond it Submit
+	// returns ErrQueueFull.
+	MaxQueuedJobs int
+	// CacheEntries bounds the LRU result cache (<=0: 256).
+	CacheEntries int
+}
+
+// StreamEvent is one NDJSON/SSE progress line. Terminal events carry
+// the final state (and error, if any); progress events mirror
+// harness.Progress.
+type StreamEvent struct {
+	Job         string  `json:"job"`
+	State       string  `json:"state"`
+	Completed   int     `json:"completed"`
+	Total       int     `json:"total"`
+	FailedCells int     `json:"failed_cells,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	EtaMs       float64 `json:"eta_ms,omitempty"`
+	Cell        string  `json:"cell,omitempty"`
+	Cached      bool    `json:"cached,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// JobView is a job's externally visible status snapshot.
+type JobView struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Cached    bool    `json:"cached"`
+	CacheKey  string  `json:"cache_key"`
+	Completed int     `json:"completed"`
+	Total     int     `json:"total"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+	HasTrace  bool    `json:"has_trace"`
+	Spec      JobSpec `json:"spec"`
+}
+
+// job is the Manager-internal record. All mutable fields are guarded by
+// Manager.mu.
+type job struct {
+	id       string
+	spec     JobSpec
+	key      string
+	state    string
+	cached   bool
+	errMsg   string
+	started  time.Time
+	elapsed  time.Duration
+	progress harness.Progress
+	result   []byte
+	trace    []byte
+	cancel   context.CancelFunc
+	subs     map[int]chan StreamEvent
+	nextSub  int
+	done     chan struct{}
+}
+
+// Manager owns the daemon's jobs: submission, queueing under a running-
+// jobs cap, execution under the global worker budget, cancellation,
+// progress fan-out, the result cache, and graceful drain.
+type Manager struct {
+	cfg      Config
+	slots    chan struct{} // global cell budget
+	jobSlots chan struct{} // running-jobs cap
+
+	mu     sync.Mutex
+	closed bool
+	nextID int
+	jobs   map[string]*job
+	order  []string // submission order for List
+	cache  *resultCache
+	wg     sync.WaitGroup
+
+	// Instruments live on their own registry (obs instruments are not
+	// atomic; every touch happens under mu).
+	reg          *obs.Registry
+	subCtr       *obs.Counter
+	doneCtr      *obs.Counter
+	failCtr      *obs.Counter
+	cancelCtr    *obs.Counter
+	hitCtr       *obs.Counter
+	missCtr      *obs.Counter
+	evictCtr     *obs.Counter
+	entriesGauge *obs.Gauge
+	runningGauge *obs.Gauge
+	queuedGauge  *obs.Gauge
+}
+
+// NewManager builds a Manager with its own instrument registry.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxRunningJobs <= 0 {
+		cfg.MaxRunningJobs = 2
+	}
+	if cfg.MaxQueuedJobs <= 0 {
+		cfg.MaxQueuedJobs = 64
+	}
+	reg := obs.NewRegistry()
+	return &Manager{
+		cfg:          cfg,
+		slots:        make(chan struct{}, cfg.MaxWorkers),
+		jobSlots:     make(chan struct{}, cfg.MaxRunningJobs),
+		jobs:         make(map[string]*job),
+		cache:        newResultCache(cfg.CacheEntries),
+		reg:          reg,
+		subCtr:       reg.Counter("service.jobs.submitted"),
+		doneCtr:      reg.Counter("service.jobs.completed"),
+		failCtr:      reg.Counter("service.jobs.failed"),
+		cancelCtr:    reg.Counter("service.jobs.cancelled"),
+		hitCtr:       reg.Counter("service.cache.hits"),
+		missCtr:      reg.Counter("service.cache.misses"),
+		evictCtr:     reg.Counter("service.cache.evictions"),
+		entriesGauge: reg.Gauge("service.cache.entries"),
+		runningGauge: reg.Gauge("service.jobs.running"),
+		queuedGauge:  reg.Gauge("service.jobs.queued"),
+	}
+}
+
+// Metrics snapshots the service instrument registry.
+func (m *Manager) Metrics() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}
+
+// Submit validates and enqueues a job. A cache hit returns a job that
+// is already done — state "done", Cached true — without simulating;
+// the stored payload is served byte-identical to the first run's.
+func (m *Manager) Submit(spec JobSpec) (JobView, error) {
+	if err := spec.normalize(); err != nil {
+		return JobView{}, &BadSpecError{Err: err}
+	}
+	key := CacheKey(spec, codeVersion())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, ErrDraining
+	}
+	m.subCtr.Inc()
+	m.nextID++
+	j := &job{
+		id:   fmt.Sprintf("job-%d", m.nextID),
+		spec: spec,
+		key:  key,
+		subs: map[int]chan StreamEvent{},
+		done: make(chan struct{}),
+	}
+
+	if entry, ok := m.cache.get(key); ok {
+		m.hitCtr.Inc()
+		j.state = StateDone
+		j.cached = true
+		j.result = entry.result
+		j.trace = entry.trace
+		j.progress = harness.Progress{} // nothing simulated
+		close(j.done)
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.doneCtr.Inc()
+		return m.viewLocked(j), nil
+	}
+	m.missCtr.Inc()
+
+	queued := 0
+	for _, other := range m.jobs {
+		if other.state == StateQueued {
+			queued++
+		}
+	}
+	if queued >= m.cfg.MaxQueuedJobs {
+		return JobView{}, ErrQueueFull
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j.state = StateQueued
+	j.cancel = cancel
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.queuedGauge.Add(1)
+	m.wg.Add(1)
+	go m.run(ctx, j)
+	return m.viewLocked(j), nil
+}
+
+// run drives one job from queued to a terminal state.
+func (m *Manager) run(ctx context.Context, j *job) {
+	defer m.wg.Done()
+
+	// Wait for a running-job slot; cancellation while queued resolves
+	// the job without simulating.
+	select {
+	case m.jobSlots <- struct{}{}:
+	case <-ctx.Done():
+		m.finish(j, nil, nil, ctx.Err())
+		return
+	}
+	defer func() { <-m.jobSlots }()
+
+	m.mu.Lock()
+	if j.state == StateQueued { // not cancelled in the gap
+		j.state = StateRunning
+		j.started = time.Now()
+		m.queuedGauge.Add(-1)
+		m.runningGauge.Add(1)
+	}
+	m.mu.Unlock()
+
+	result, traceJSON, err := execute(ctx, j.spec, m.slots, func(p harness.Progress) {
+		m.publish(j, p)
+	})
+	m.finish(j, result, traceJSON, err)
+}
+
+// publish records progress and fans it out to subscribers. Sends are
+// non-blocking: a slow stream reader loses intermediate events, never
+// the terminal one (the channel close carries that).
+func (m *Manager) publish(j *job, p harness.Progress) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.progress = p
+	ev := StreamEvent{
+		Job: j.id, State: j.state,
+		Completed: p.Completed, Total: p.Total, FailedCells: p.Failed,
+		ElapsedMs: float64(p.Elapsed.Microseconds()) / 1000,
+		EtaMs:     float64(p.ETA.Microseconds()) / 1000,
+		Cell:      p.Cell.String(),
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finish moves a job to its terminal state, stores cacheable results,
+// and releases every subscriber.
+func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	wasRunning := j.state == StateRunning
+	wasQueued := j.state == StateQueued
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		j.trace = traceJSON
+		evicted := m.cache.put(j.key, cacheEntry{result: result, trace: traceJSON})
+		m.evictCtr.Add(uint64(evicted))
+		m.entriesGauge.Set(int64(m.cache.len()))
+		m.doneCtr.Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+		m.cancelCtr.Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		m.failCtr.Inc()
+	}
+	if wasRunning {
+		m.runningGauge.Add(-1)
+		j.elapsed = time.Since(j.started)
+	}
+	if wasQueued {
+		m.queuedGauge.Add(-1)
+	}
+
+	ev := m.terminalEventLocked(j)
+	for id, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+		delete(j.subs, id)
+	}
+	close(j.done)
+}
+
+// terminalEventLocked renders a job's final stream event.
+func (m *Manager) terminalEventLocked(j *job) StreamEvent {
+	return StreamEvent{
+		Job: j.id, State: j.state,
+		Completed: j.progress.Completed, Total: j.progress.Total,
+		FailedCells: j.progress.Failed,
+		ElapsedMs:   float64(j.elapsed.Microseconds()) / 1000,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+	}
+}
+
+// Cancel requests cancellation. Queued jobs resolve immediately;
+// running jobs stop dispatching cells and resolve once in-flight cells
+// complete. Cancelling a terminal job is a no-op (false).
+func (m *Manager) Cancel(id string) (bool, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false, ErrNotFound
+	}
+	if terminal(j.state) || j.cancel == nil {
+		m.mu.Unlock()
+		return false, nil
+	}
+	cancel := j.cancel
+	m.mu.Unlock()
+	cancel()
+	return true, nil
+}
+
+// Get returns a job's status snapshot.
+func (m *Manager) Get(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return m.viewLocked(j), nil
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.viewLocked(m.jobs[id]))
+	}
+	return out
+}
+
+func (m *Manager) viewLocked(j *job) JobView {
+	elapsed := j.elapsed
+	if j.state == StateRunning {
+		elapsed = time.Since(j.started)
+	}
+	return JobView{
+		ID: j.id, State: j.state, Cached: j.cached, CacheKey: j.key,
+		Completed: j.progress.Completed, Total: j.progress.Total,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		Error:     j.errMsg, HasTrace: len(j.trace) > 0, Spec: j.spec,
+	}
+}
+
+// Result returns a terminal job's payload. ok is false while the job is
+// still queued or running.
+func (m *Manager) Result(id string) (payload []byte, state string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, "", ErrNotFound
+	}
+	return j.result, j.state, nil
+}
+
+// Trace returns a terminal job's Perfetto trace-event JSON (nil when
+// the job was not traced).
+func (m *Manager) Trace(id string) (payload []byte, state string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, "", ErrNotFound
+	}
+	return j.trace, j.state, nil
+}
+
+// Subscribe attaches a progress listener. The returned channel closes
+// after the terminal event; cancelSub detaches early. For jobs already
+// terminal the channel delivers the terminal event and closes.
+func (m *Manager) Subscribe(id string) (events <-chan StreamEvent, cancelSub func(), err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan StreamEvent, 256)
+	if terminal(j.state) {
+		ch <- m.terminalEventLocked(j)
+		close(ch)
+		return ch, func() {}, nil
+	}
+	sub := j.nextSub
+	j.nextSub++
+	j.subs[sub] = ch
+	cancelSub = func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if c, ok := j.subs[sub]; ok {
+			close(c)
+			delete(j.subs, sub)
+		}
+	}
+	return ch, cancelSub, nil
+}
+
+// Drain gracefully shuts the manager down: new submissions are
+// rejected, queued and running jobs finish, and Drain returns when all
+// jobs are terminal. If ctx expires first, every remaining job is
+// cancelled and Drain waits (briefly) for the pools to unwind before
+// returning ctx's error.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline passed: cancel everything still live and wait it out —
+	// in-flight cells are not interruptible, but they are finite.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if !terminal(j.state) && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+	<-finished
+	return ctx.Err()
+}

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/eurosys23/ice/internal/experiments"
+)
+
+// NewServer wires the daemon's HTTP API over a Manager:
+//
+//	GET  /healthz           liveness
+//	GET  /experiments       the shared experiment registry (IDs + axes)
+//	GET  /metrics           service instruments (text; ?format=json)
+//	POST /jobs              submit a JobSpec, returns the JobView
+//	GET  /jobs              list jobs in submission order
+//	GET  /jobs/{id}         one job's status
+//	POST /jobs/{id}/cancel  request cancellation
+//	GET  /jobs/{id}/stream  progress stream: NDJSON, or SSE when the
+//	                        client sends Accept: text/event-stream
+//	GET  /jobs/{id}/result  terminal job's result payload (JSON)
+//	GET  /jobs/{id}/trace   terminal job's Perfetto trace-event JSON
+func NewServer(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			ID   string `json:"id"`
+			Desc string `json:"desc"`
+			Axes string `json:"axes"`
+		}
+		var out []entry
+		for _, runner := range experiments.Registry() {
+			out = append(out, entry{ID: runner.ID, Desc: runner.Desc, Axes: runner.Axes})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := m.Metrics()
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteTo(w)
+	})
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
+			return
+		}
+		view, err := m.Submit(spec)
+		if err != nil {
+			var bad *BadSpecError
+			switch {
+			case errors.As(err, &bad):
+				writeErr(w, http.StatusBadRequest, err)
+			case errors.Is(err, ErrQueueFull):
+				writeErr(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrDraining):
+				writeErr(w, http.StatusServiceUnavailable, err)
+			default:
+				writeErr(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		requested, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"cancel_requested": requested})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		payload, state, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if !terminal(state) {
+			writeErr(w, http.StatusConflict, fmt.Errorf("job is %s; stream /jobs/{id}/stream or poll", state))
+			return
+		}
+		if payload == nil {
+			writeErr(w, http.StatusGone, fmt.Errorf("job %s produced no result", state))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		payload, state, err := m.Trace(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		if !terminal(state) {
+			writeErr(w, http.StatusConflict, fmt.Errorf("job is %s", state))
+			return
+		}
+		if payload == nil {
+			writeErr(w, http.StatusNotFound, errors.New("no trace recorded; submit with \"trace\": true"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", "attachment; filename=\"icesim-trace.json\"")
+		w.Write(payload)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		events, cancelSub, err := m.Subscribe(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		defer cancelSub()
+
+		sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+		if sse {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.Header().Set("Cache-Control", "no-cache")
+		} else {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+
+		write := func(ev StreamEvent) bool {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			if sse {
+				_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+			} else {
+				_, err = fmt.Fprintf(w, "%s\n", b)
+			}
+			if err != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return true
+		}
+
+		sawTerminal := false
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					// Channel closed; make sure the client got the final
+					// state even if the buffered terminal event was lost.
+					if !sawTerminal {
+						if view, err := m.Get(id); err == nil {
+							write(StreamEvent{
+								Job: view.ID, State: view.State,
+								Completed: view.Completed, Total: view.Total,
+								ElapsedMs: view.ElapsedMs,
+								Cached:    view.Cached, Error: view.Error,
+							})
+						}
+					}
+					return
+				}
+				if !write(ev) {
+					return
+				}
+				if terminal(ev.State) {
+					sawTerminal = true
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

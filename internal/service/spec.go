@@ -1,0 +1,220 @@
+// Package service is the icesimd daemon: a long-running HTTP front-end
+// over the simulator. It accepts simulation jobs (single
+// scenario×scheme×device runs and any experiment from the shared
+// registry), executes them through internal/harness under a global
+// bounded worker budget, streams per-cell progress as NDJSON or SSE,
+// and answers repeated identical jobs from a content-addressed LRU
+// result cache — deterministic seeded simulations make identical
+// requests perfectly cacheable.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"github.com/eurosys23/ice/internal/device"
+	"github.com/eurosys23/ice/internal/experiments"
+	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/workload"
+	"github.com/eurosys23/ice/internal/zram"
+)
+
+// Job kinds.
+const (
+	// KindRun is a single scenario × scheme × device configuration,
+	// repeated Rounds times with derived seeds (cmd/icesim's job).
+	KindRun = "run"
+	// KindExperiment is one registered experiment matrix (cmd/
+	// experiments' job); Experiment names the registry ID.
+	KindExperiment = "experiment"
+)
+
+// JobSpec is the wire format of a simulation job. Zero fields take the
+// documented defaults during validation, so two specs that differ only
+// in spelled-out defaults normalise to the same cache key.
+type JobSpec struct {
+	Kind string `json:"kind"`
+
+	// Experiment fields (Kind == "experiment").
+	Experiment string `json:"experiment,omitempty"`
+	Fast       bool   `json:"fast,omitempty"`
+
+	// Run fields (Kind == "run").
+	Device      string `json:"device,omitempty"`       // default P20
+	Scenario    string `json:"scenario,omitempty"`     // default S-A
+	Scheme      string `json:"scheme,omitempty"`       // default LRU+CFS
+	BGCase      string `json:"bg_case,omitempty"`      // null|apps|cputester|memtester (default apps)
+	NumBG       int    `json:"num_bg,omitempty"`       // 0 = device default
+	ZramCodec   string `json:"zram_codec,omitempty"`   // lz4|zstd|snappy (default lz4)
+	DurationSec int    `json:"duration_sec,omitempty"` // default 60 (run jobs)
+	Trace       bool   `json:"trace,omitempty"`        // record round 0 for Perfetto export
+
+	// Common fields.
+	Rounds int   `json:"rounds,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	// Workers bounds this job's in-flight cells (further bounded by the
+	// daemon's global budget). It cannot change the result — the harness
+	// is worker-count invariant — so it is excluded from the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalize validates the spec and fills every defaulted field in
+// place, so the cache key hashes effective values, not spellings.
+func (s *JobSpec) normalize() error {
+	switch s.Kind {
+	case KindRun:
+		if s.Experiment != "" {
+			return fmt.Errorf("run job must not name an experiment")
+		}
+		if s.Device == "" {
+			s.Device = "P20"
+		}
+		if _, ok := device.ByName(s.Device); !ok {
+			return fmt.Errorf("unknown device %q", s.Device)
+		}
+		if s.Scenario == "" {
+			s.Scenario = "S-A"
+		}
+		if !validScenario(s.Scenario) {
+			return fmt.Errorf("unknown scenario %q (have %v)", s.Scenario, workload.Scenarios())
+		}
+		if s.Scheme == "" {
+			s.Scheme = "LRU+CFS"
+		}
+		if _, err := policy.ByName(s.Scheme); err != nil {
+			return err
+		}
+		if s.BGCase == "" {
+			s.BGCase = "apps"
+		}
+		if _, err := parseBGCase(s.BGCase); err != nil {
+			return err
+		}
+		if s.ZramCodec == "" {
+			s.ZramCodec = zram.DefaultCodec
+		}
+		if _, err := zram.Preset(s.ZramCodec); err != nil {
+			return err
+		}
+		if s.DurationSec < 0 {
+			return fmt.Errorf("negative duration %d", s.DurationSec)
+		}
+		if s.DurationSec == 0 {
+			s.DurationSec = 60
+		}
+		if s.Rounds <= 0 {
+			s.Rounds = 1
+		}
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		if s.Fast {
+			return fmt.Errorf("fast applies to experiment jobs only")
+		}
+	case KindExperiment:
+		if s.Experiment == "" {
+			return fmt.Errorf("experiment job needs an experiment ID (try GET /experiments)")
+		}
+		if _, ok := experiments.ByID(s.Experiment); !ok {
+			return fmt.Errorf("unknown experiment %q (try GET /experiments)", s.Experiment)
+		}
+		if s.Device != "" || s.Scenario != "" || s.Scheme != "" || s.BGCase != "" ||
+			s.NumBG != 0 || s.ZramCodec != "" || s.Trace {
+			return fmt.Errorf("run-only fields set on an experiment job")
+		}
+		if s.DurationSec < 0 {
+			return fmt.Errorf("negative duration %d", s.DurationSec)
+		}
+		// Mirror experiments.Options.withDefaults so the key hashes the
+		// effective repetition count and seed.
+		if s.Rounds <= 0 {
+			if s.Fast {
+				s.Rounds = 2
+			} else {
+				s.Rounds = 10
+			}
+		}
+		if s.Seed == 0 {
+			s.Seed = 20230509
+		}
+	case "":
+		return fmt.Errorf("missing job kind (%q or %q)", KindRun, KindExperiment)
+	default:
+		return fmt.Errorf("unknown job kind %q", s.Kind)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("negative workers %d", s.Workers)
+	}
+	return nil
+}
+
+func validScenario(name string) bool {
+	for _, s := range workload.Scenarios() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+func parseBGCase(name string) (workload.BGCase, error) {
+	switch name {
+	case "null":
+		return workload.BGNull, nil
+	case "apps":
+		return workload.BGApps, nil
+	case "cputester":
+		return workload.BGCputester, nil
+	case "memtester":
+		return workload.BGMemtester, nil
+	}
+	return 0, fmt.Errorf("unknown bg_case %q (null, apps, cputester, memtester)", name)
+}
+
+// cacheKeySchema versions the key derivation itself: bump it whenever
+// the hashed fields or their encoding change, so stale persisted keys
+// can never alias a new payload shape.
+const cacheKeySchema = "icesimd-cache-v1"
+
+// CacheKey content-addresses a normalised spec for the given code
+// version: a SHA-256 over the key schema, the code version, and the
+// canonical JSON of every result-determining field. Workers is zeroed
+// first — the harness is worker-count invariant, so any parallelism
+// produces the identical payload. Same spec ⇒ same key in any process
+// of the same code version; any result-determining field change ⇒ a
+// different key.
+func CacheKey(spec JobSpec, version string) string {
+	spec.Workers = 0
+	canonical, err := json.Marshal(spec)
+	if err != nil {
+		panic(err) // JobSpec is plain data; Marshal cannot fail
+	}
+	h := sha256.New()
+	h.Write([]byte(cacheKeySchema))
+	h.Write([]byte{0})
+	h.Write([]byte(version))
+	h.Write([]byte{0})
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// codeVersion identifies the running build for cache addressing: the
+// VCS revision when the binary carries one, else "dev". Two processes
+// built from the same revision share cache keys.
+var codeVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+})

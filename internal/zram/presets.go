@@ -1,0 +1,100 @@
+package zram
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/eurosys23/ice/internal/sim"
+)
+
+// Codec is a named compression-algorithm preset: the per-page-type
+// compression ratios and per-page CPU latencies one algorithm exhibits
+// on mobile-class silicon. Android ships zram with a board-selected
+// compressor; sweeping the codec axis is the kind of configuration
+// study the icesimd daemon makes cheap (cf. Ariadne's compressed-swap
+// sweeps in PAPERS.md).
+//
+// Ratios and latencies are relative to the same page model as Config:
+// Java heaps compress better than native heaps, and compression is
+// slower than decompression. The numbers are calibrated against the
+// published single-thread throughput ordering lz4 > snappy > zstd and
+// the ratio ordering zstd > lz4 > snappy, anchored so the "lz4" preset
+// is byte-identical to the model both simulated devices always used.
+type Codec struct {
+	Name string
+	// JavaRatio / NativeRatio are the compression ratios per page type.
+	JavaRatio   float64
+	NativeRatio float64
+	// CompressLatency / DecompressLatency are the per-page CPU costs
+	// before device CPUFactor scaling.
+	CompressLatency   sim.Time
+	DecompressLatency sim.Time
+}
+
+// DefaultCodec is the preset every device uses unless configured
+// otherwise; its parameters are exactly the pre-preset model, so the
+// default behaviour is byte-identical to earlier versions.
+const DefaultCodec = "lz4"
+
+// presets is the codec catalogue. The lz4 entry must stay identical to
+// DefaultConfig's historical constants (2.8/2.2, 120 µs/70 µs).
+var presets = map[string]Codec{
+	"lz4": {
+		Name:              "lz4",
+		JavaRatio:         2.8,
+		NativeRatio:       2.2,
+		CompressLatency:   120 * sim.Microsecond,
+		DecompressLatency: 70 * sim.Microsecond,
+	},
+	// zstd trades CPU for density: noticeably better ratios, ~2.7×
+	// slower compression and ~2× slower decompression than lz4.
+	"zstd": {
+		Name:              "zstd",
+		JavaRatio:         3.6,
+		NativeRatio:       2.9,
+		CompressLatency:   320 * sim.Microsecond,
+		DecompressLatency: 140 * sim.Microsecond,
+	},
+	// snappy is the legacy fast path: slightly worse ratios than lz4
+	// with comparable compression cost but slower decompression.
+	"snappy": {
+		Name:              "snappy",
+		JavaRatio:         2.5,
+		NativeRatio:       2.0,
+		CompressLatency:   110 * sim.Microsecond,
+		DecompressLatency: 95 * sim.Microsecond,
+	},
+}
+
+// Preset returns the named codec. The empty name selects DefaultCodec.
+func Preset(name string) (Codec, error) {
+	if name == "" {
+		name = DefaultCodec
+	}
+	c, ok := presets[name]
+	if !ok {
+		return Codec{}, fmt.Errorf("zram: unknown codec %q (have %v)", name, PresetNames())
+	}
+	return c, nil
+}
+
+// PresetNames returns the registered codec names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Apply overwrites the config's ratio and latency parameters with the
+// codec's. Capacity is untouched: the partition size is a device
+// property, not an algorithm property.
+func (c Codec) Apply(cfg Config) Config {
+	cfg.JavaRatio = c.JavaRatio
+	cfg.NativeRatio = c.NativeRatio
+	cfg.CompressLatency = c.CompressLatency
+	cfg.DecompressLatency = c.DecompressLatency
+	return cfg
+}

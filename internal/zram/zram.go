@@ -32,15 +32,15 @@ type Config struct {
 	DecompressLatency sim.Time
 }
 
-// DefaultConfig returns the model used for both devices, sized by capacity.
+// DefaultConfig returns the model used for both devices, sized by
+// capacity: the DefaultCodec ("lz4") preset, whose parameters are
+// byte-identical to the historical hard-wired constants.
 func DefaultConfig(capacityPages int) Config {
-	return Config{
-		CapacityPages:     capacityPages,
-		JavaRatio:         2.8,
-		NativeRatio:       2.2,
-		CompressLatency:   120 * sim.Microsecond,
-		DecompressLatency: 70 * sim.Microsecond,
+	codec, err := Preset(DefaultCodec)
+	if err != nil {
+		panic(err) // the default preset is always registered
 	}
+	return codec.Apply(Config{CapacityPages: capacityPages})
 }
 
 // Stats aggregates ZRAM activity.
