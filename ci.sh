@@ -5,7 +5,9 @@
 #   race-free at any -workers setting), a one-iteration benchmark
 #   smoke pass (benchmarks must at least run), a golden-file
 #   check on the Perfetto trace exporter, and an icesimd smoke test
-#   (boot, health check, one cached job round-trip, SIGTERM drain).
+#   (boot with a state dir, health check, one cached job round-trip,
+#   SIGTERM drain, then a restart on the same state dir that must serve
+#   the job byte-identical from the persistent result store).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -27,13 +29,15 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # the golden file needs a deliberate `go test ./internal/trace -update`.
 go test -run=TestExportChromeGolden ./internal/trace/
 
-# icesimd smoke: boot on a random port, health-check, run one tiny job
-# twice (the second answer must come from the result cache), then SIGTERM
-# and require a clean drain.
+# icesimd smoke: boot on a random port with a persistent state dir,
+# health-check, run one tiny job twice (the second answer must come from
+# the result cache), SIGTERM and require a clean drain — then restart
+# the daemon on the same state dir and require the identical job to be
+# served byte-identical from the disk store without re-simulating.
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 go build -o "$smokedir/icesimd" ./cmd/icesimd
-"$smokedir/icesimd" -addr 127.0.0.1:0 >"$smokedir/log" &
+"$smokedir/icesimd" -addr 127.0.0.1:0 -state-dir "$smokedir/state" >"$smokedir/log" &
 daemon=$!
 addr=""
 for _ in $(seq 1 50); do
@@ -57,5 +61,27 @@ curl -sf "http://$addr/metrics" | grep -q 'service.cache.hits'
 kill -TERM "$daemon"
 wait "$daemon" || { echo "icesimd did not drain cleanly" >&2; cat "$smokedir/log" >&2; exit 1; }
 grep -q 'drained, bye' "$smokedir/log"
+
+# Second boot on the same state dir: the job must be a disk-cache hit.
+"$smokedir/icesimd" -addr 127.0.0.1:0 -state-dir "$smokedir/state" >"$smokedir/log2" &
+daemon=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^icesimd listening on //p' "$smokedir/log2")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "icesimd (restart) never reported its port" >&2; cat "$smokedir/log2" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep 'service.store.loaded_at_boot' | grep -q ' 1$' \
+    || { echo "restarted daemon did not load the stored entry" >&2; curl -sf "http://$addr/metrics" >&2; exit 1; }
+curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true' \
+    || { echo "restarted daemon re-simulated instead of hitting the disk store" >&2; exit 1; }
+curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/r3"
+cmp -s "$smokedir/r1" "$smokedir/r3" || { echo "disk-store result not byte-identical across restart" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep 'service.store.disk_hits' | grep -q ' 1$' \
+    || { echo "disk hit not counted" >&2; exit 1; }
+kill -TERM "$daemon"
+wait "$daemon" || { echo "icesimd (restart) did not drain cleanly" >&2; cat "$smokedir/log2" >&2; exit 1; }
+grep -q 'drained, bye' "$smokedir/log2"
 
 echo "ci.sh: all checks passed"

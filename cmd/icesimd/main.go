@@ -6,11 +6,22 @@
 // NDJSON/SSE, and answers repeated identical jobs from a
 // content-addressed LRU result cache.
 //
+// With -state-dir the content-addressed result cache gains a
+// persistent disk tier: completed payloads spill to
+// <state-dir>/cache/<key[:2]>/<key> (atomic temp-file + rename, an
+// integrity header with payload checksums), the daemon rebuilds the
+// index from the directory on boot, and eviction is byte-budgeted
+// (-cache-bytes, LRU order). Identical jobs are then served
+// byte-identical across daemon restarts; corrupted or truncated
+// entries are quarantined under <state-dir>/corrupt/ and re-simulated.
+// Without -state-dir the daemon is fully in-memory, as before.
+//
 // Usage:
 //
 //	icesimd                          # listen on 127.0.0.1:7823
 //	icesimd -addr :0                 # any free port (printed on stdout)
 //	icesimd -workers 8 -max-jobs 4   # budget: ≤8 cells in flight, ≤4 jobs
+//	icesimd -state-dir /var/lib/icesimd -cache-bytes 2147483648
 //
 // Quickstart:
 //
@@ -46,17 +57,27 @@ func main() {
 		workers      = flag.Int("workers", 0, "global cell budget across all jobs (0 = GOMAXPROCS)")
 		maxJobs      = flag.Int("max-jobs", 0, "jobs simulating concurrently (0 = 2)")
 		maxQueue     = flag.Int("max-queue", 0, "queued-job bound (0 = 64)")
-		cacheEntries = flag.Int("cache", 0, "result-cache LRU entries (0 = 256)")
+		cacheEntries = flag.Int("cache", 0, "in-memory result-cache LRU entries (0 = 256)")
+		stateDir     = flag.String("state-dir", "", "persistent result-store directory (empty = in-memory only)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "disk store payload-byte budget (0 = 1 GiB; needs -state-dir)")
+		retainJobs   = flag.Int("retain-jobs", 0, "terminal jobs kept per state for /jobs (0 = 256)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	)
 	flag.Parse()
 
-	mgr := service.NewManager(service.Config{
-		MaxWorkers:     *workers,
-		MaxRunningJobs: *maxJobs,
-		MaxQueuedJobs:  *maxQueue,
-		CacheEntries:   *cacheEntries,
+	mgr, err := service.OpenManager(service.Config{
+		MaxWorkers:         *workers,
+		MaxRunningJobs:     *maxJobs,
+		MaxQueuedJobs:      *maxQueue,
+		CacheEntries:       *cacheEntries,
+		StateDir:           *stateDir,
+		CacheBytes:         *cacheBytes,
+		RetainTerminalJobs: *retainJobs,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

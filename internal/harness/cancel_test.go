@@ -132,6 +132,83 @@ func TestMapContextCancelNoGoroutineLeak(t *testing.T) {
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
 
+// TestMapContextSlotsCancelKeepsPrefix is the regression test for the
+// dispatch-order bug where a worker could claim a cell and then
+// abandon it while waiting on an exhausted Slots budget under
+// cancellation, letting a later-index cell that already held a slot
+// complete — a hole in the documented completed-prefix invariant.
+// Workers now acquire the slot before claiming, so every claimed cell
+// runs and the completed cells form a prefix at any interleaving.
+func TestMapContextSlotsCancelKeepsPrefix(t *testing.T) {
+	cells := Spec{Rounds: 24}.Cells()
+	for trial := 0; trial < 30; trial++ {
+		slots := make(chan struct{}, 1) // single-slot budget: workers contend
+		ctx, cancel := context.WithCancel(context.Background())
+		var progressed []int
+		out, err := MapContext(ctx, Config{
+			BaseSeed: 9, Workers: 4, Slots: slots,
+			Progress: func(p Progress) { progressed = append(progressed, p.Cell.Index) },
+		}, cells, func(c Cell) int64 {
+			if c.Index == 2 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond) // let other workers pile up on the slot
+			return c.Seed
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: error %v does not wrap context.Canceled", trial, err)
+		}
+		done := len(progressed)
+		if done == 0 || done >= len(cells) {
+			t.Fatalf("trial %d: %d cells completed, expected a strict subset", trial, done)
+		}
+		seen := map[int]bool{}
+		for _, idx := range progressed {
+			seen[idx] = true
+		}
+		for i := 0; i < done; i++ {
+			if !seen[i] {
+				t.Fatalf("trial %d: %d cells done but index %d missing (not a prefix)", trial, done, i)
+			}
+		}
+		for i := range out {
+			if !seen[i] && out[i] != 0 {
+				t.Fatalf("trial %d: abandoned slot %d holds value %d", trial, i, out[i])
+			}
+		}
+		if len(slots) != 0 {
+			t.Fatalf("trial %d: %d slots leaked", trial, len(slots))
+		}
+	}
+}
+
+// TestMapContextSlotsExhaustedCancelRunsNothing: with the whole budget
+// held elsewhere, a cancelled run abandons before claiming any cell.
+func TestMapContextSlotsExhaustedCancelRunsNothing(t *testing.T) {
+	slots := make(chan struct{}, 1)
+	slots <- struct{}{} // budget fully consumed by "another job"
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	var ran atomic.Int64
+	_, err := MapContext(ctx, Config{Workers: 4, Slots: slots}, Spec{Rounds: 16}.Cells(), func(Cell) int {
+		ran.Add(1)
+		return 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d cells ran with the budget exhausted", n)
+	}
+	if len(slots) != 1 {
+		t.Fatalf("foreign slot count %d, want the 1 we put in", len(slots))
+	}
+}
+
 // TestMapContextPanicPlusCancel: cell errors and the context error are
 // joined; Errs still extracts the cell errors.
 func TestMapContextPanicPlusCancel(t *testing.T) {

@@ -107,9 +107,10 @@ type Config struct {
 	// concurrent Map/MapContext calls (one daemon serving many jobs):
 	// every executing cell holds one slot, so the channel's capacity
 	// bounds total in-flight cells fleet-wide. Workers still bounds this
-	// call's own concurrency. Under MapContext, a cell claimed while the
-	// budget is exhausted is abandoned (not run) if the context is
-	// cancelled before a slot frees up.
+	// call's own concurrency. Workers acquire a slot before claiming a
+	// cell, so under MapContext a worker cancelled while the budget is
+	// exhausted abandons without having claimed anything and the
+	// completed cells still form a matrix prefix.
 	Slots chan struct{}
 }
 
@@ -222,11 +223,14 @@ func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Ce
 				if ctx.Err() != nil {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= len(stamped) {
-					return
-				}
-				c := stamped[i]
+				// Acquire the shared budget slot BEFORE claiming a cell
+				// index. A worker abandoning on cancellation while the
+				// budget is exhausted has then claimed nothing, so every
+				// claimed index runs to completion — claiming a cell
+				// first and abandoning it later would let a later-index
+				// cell that already held a slot complete while an
+				// earlier one never runs, breaking the completed-prefix
+				// guarantee.
 				if cfg.Slots != nil {
 					select {
 					case cfg.Slots <- struct{}{}:
@@ -234,6 +238,14 @@ func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Ce
 						return // abandoned: budget exhausted and run cancelled
 					}
 				}
+				i := int(next.Add(1)) - 1
+				if i >= len(stamped) {
+					if cfg.Slots != nil {
+						<-cfg.Slots
+					}
+					return
+				}
+				c := stamped[i]
 				cellStart := time.Now()
 				cerr := runCell(c, &out[i], fn)
 				cellTime := time.Since(cellStart)

@@ -10,10 +10,13 @@ type cacheEntry struct {
 	trace  []byte
 }
 
-// resultCache is a bounded LRU keyed by content-addressed job keys (see
-// JobSpec.cacheKey). Simulations are seeded and deterministic, so a key
-// fully determines the payload; repeated submissions — the common case
-// for sweep tooling — are answered without re-simulating.
+// resultCache is a bounded in-memory LRU keyed by content-addressed job
+// keys (see JobSpec.cacheKey). Simulations are seeded and
+// deterministic, so a key fully determines the payload; repeated
+// submissions — the common case for sweep tooling — are answered
+// without re-simulating. It is the front tier of the result cache:
+// with Config.StateDir set, misses fall through to the persistent
+// diskStore (see store.go) and disk hits are promoted back in here.
 //
 // The cache is not self-locking: the owning Manager serialises access
 // under its mutex, which also keeps the obs instruments race-free.

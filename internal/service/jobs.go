@@ -51,8 +51,21 @@ type Config struct {
 	// MaxQueuedJobs bounds the queue (<=0: 64); beyond it Submit
 	// returns ErrQueueFull.
 	MaxQueuedJobs int
-	// CacheEntries bounds the LRU result cache (<=0: 256).
+	// CacheEntries bounds the in-memory LRU result cache (<=0: 256).
 	CacheEntries int
+	// StateDir, when non-empty, backs the result cache with a
+	// persistent disk store under this directory (see diskStore).
+	// Empty keeps the daemon fully in-memory — today's behaviour,
+	// byte-identical.
+	StateDir string
+	// CacheBytes bounds the disk store's payload bytes (<=0: 1 GiB).
+	// Ignored without StateDir.
+	CacheBytes int64
+	// RetainTerminalJobs bounds how many terminal jobs are kept per
+	// state for Get/List/Result (<=0: 256). Older terminal jobs are
+	// pruned; their payloads stay reachable through the result cache
+	// and disk store by resubmitting the spec.
+	RetainTerminalJobs int
 }
 
 // StreamEvent is one NDJSON/SSE progress line. Terminal events carry
@@ -73,16 +86,17 @@ type StreamEvent struct {
 
 // JobView is a job's externally visible status snapshot.
 type JobView struct {
-	ID        string  `json:"id"`
-	State     string  `json:"state"`
-	Cached    bool    `json:"cached"`
-	CacheKey  string  `json:"cache_key"`
-	Completed int     `json:"completed"`
-	Total     int     `json:"total"`
-	ElapsedMs float64 `json:"elapsed_ms"`
-	Error     string  `json:"error,omitempty"`
-	HasTrace  bool    `json:"has_trace"`
-	Spec      JobSpec `json:"spec"`
+	ID          string  `json:"id"`
+	State       string  `json:"state"`
+	Cached      bool    `json:"cached"`
+	CacheKey    string  `json:"cache_key"`
+	Completed   int     `json:"completed"`
+	Total       int     `json:"total"`
+	FailedCells int     `json:"failed_cells,omitempty"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	Error       string  `json:"error,omitempty"`
+	HasTrace    bool    `json:"has_trace"`
+	Spec        JobSpec `json:"spec"`
 }
 
 // job is the Manager-internal record. All mutable fields are guarded by
@@ -107,7 +121,9 @@ type job struct {
 
 // Manager owns the daemon's jobs: submission, queueing under a running-
 // jobs cap, execution under the global worker budget, cancellation,
-// progress fan-out, the result cache, and graceful drain.
+// progress fan-out, the two-tier result cache (in-memory LRU front,
+// optional byte-budgeted disk store), bounded terminal-job retention,
+// and graceful drain.
 type Manager struct {
 	cfg      Config
 	slots    chan struct{} // global cell budget
@@ -118,26 +134,55 @@ type Manager struct {
 	nextID int
 	jobs   map[string]*job
 	order  []string // submission order for List
+	queued int      // jobs currently in StateQueued (O(1) Submit bound check)
 	cache  *resultCache
-	wg     sync.WaitGroup
+	store  *diskStore // nil without Config.StateDir
+	// terminalByState holds terminal job IDs per state, oldest first,
+	// for the retention policy.
+	terminalByState map[string][]string
+	wg              sync.WaitGroup
 
 	// Instruments live on their own registry (obs instruments are not
-	// atomic; every touch happens under mu).
-	reg          *obs.Registry
-	subCtr       *obs.Counter
-	doneCtr      *obs.Counter
-	failCtr      *obs.Counter
-	cancelCtr    *obs.Counter
-	hitCtr       *obs.Counter
-	missCtr      *obs.Counter
-	evictCtr     *obs.Counter
-	entriesGauge *obs.Gauge
-	runningGauge *obs.Gauge
-	queuedGauge  *obs.Gauge
+	// atomic; every touch happens under mu). The store instruments are
+	// registered only when a disk store is configured; obs instruments
+	// are nil-safe, so the in-memory path pays one nil check.
+	reg           *obs.Registry
+	subCtr        *obs.Counter
+	doneCtr       *obs.Counter
+	failCtr       *obs.Counter
+	cancelCtr     *obs.Counter
+	hitCtr        *obs.Counter
+	missCtr       *obs.Counter
+	evictCtr      *obs.Counter
+	entriesGauge  *obs.Gauge
+	runningGauge  *obs.Gauge
+	queuedGauge   *obs.Gauge
+	retainedGauge *obs.Gauge
+	diskHitCtr    *obs.Counter
+	diskMissCtr   *obs.Counter
+	diskEvictCtr  *obs.Counter
+	corruptCtr    *obs.Counter
+	storeErrCtr   *obs.Counter
+	oversizeCtr   *obs.Counter
+	bootCtr       *obs.Counter
+	diskBytes     *obs.Gauge
+	diskEntries   *obs.Gauge
 }
 
-// NewManager builds a Manager with its own instrument registry.
+// NewManager builds a Manager with its own instrument registry. It
+// panics if Config.StateDir is set but cannot be initialised; daemons
+// should use OpenManager and handle the error.
 func NewManager(cfg Config) *Manager {
+	m, err := OpenManager(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OpenManager builds a Manager, opening (and scanning) the persistent
+// result store when Config.StateDir is set.
+func OpenManager(cfg Config) (*Manager, error) {
 	if cfg.MaxWorkers <= 0 {
 		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -147,25 +192,52 @@ func NewManager(cfg Config) *Manager {
 	if cfg.MaxQueuedJobs <= 0 {
 		cfg.MaxQueuedJobs = 64
 	}
-	reg := obs.NewRegistry()
-	return &Manager{
-		cfg:          cfg,
-		slots:        make(chan struct{}, cfg.MaxWorkers),
-		jobSlots:     make(chan struct{}, cfg.MaxRunningJobs),
-		jobs:         make(map[string]*job),
-		cache:        newResultCache(cfg.CacheEntries),
-		reg:          reg,
-		subCtr:       reg.Counter("service.jobs.submitted"),
-		doneCtr:      reg.Counter("service.jobs.completed"),
-		failCtr:      reg.Counter("service.jobs.failed"),
-		cancelCtr:    reg.Counter("service.jobs.cancelled"),
-		hitCtr:       reg.Counter("service.cache.hits"),
-		missCtr:      reg.Counter("service.cache.misses"),
-		evictCtr:     reg.Counter("service.cache.evictions"),
-		entriesGauge: reg.Gauge("service.cache.entries"),
-		runningGauge: reg.Gauge("service.jobs.running"),
-		queuedGauge:  reg.Gauge("service.jobs.queued"),
+	if cfg.RetainTerminalJobs <= 0 {
+		cfg.RetainTerminalJobs = 256
 	}
+	reg := obs.NewRegistry()
+	m := &Manager{
+		cfg:             cfg,
+		slots:           make(chan struct{}, cfg.MaxWorkers),
+		jobSlots:        make(chan struct{}, cfg.MaxRunningJobs),
+		jobs:            make(map[string]*job),
+		cache:           newResultCache(cfg.CacheEntries),
+		terminalByState: make(map[string][]string),
+		reg:             reg,
+		subCtr:          reg.Counter("service.jobs.submitted"),
+		doneCtr:         reg.Counter("service.jobs.completed"),
+		failCtr:         reg.Counter("service.jobs.failed"),
+		cancelCtr:       reg.Counter("service.jobs.cancelled"),
+		hitCtr:          reg.Counter("service.cache.hits"),
+		missCtr:         reg.Counter("service.cache.misses"),
+		evictCtr:        reg.Counter("service.cache.evictions"),
+		entriesGauge:    reg.Gauge("service.cache.entries"),
+		runningGauge:    reg.Gauge("service.jobs.running"),
+		queuedGauge:     reg.Gauge("service.jobs.queued"),
+		retainedGauge:   reg.Gauge("service.jobs.retained"),
+	}
+	if cfg.StateDir != "" {
+		store, boot, err := openDiskStore(cfg.StateDir, cfg.CacheBytes, codeVersion())
+		if err != nil {
+			return nil, err
+		}
+		m.store = store
+		m.diskHitCtr = reg.Counter("service.store.disk_hits")
+		m.diskMissCtr = reg.Counter("service.store.disk_misses")
+		m.diskEvictCtr = reg.Counter("service.store.evictions")
+		m.corruptCtr = reg.Counter("service.store.corrupt_quarantined")
+		m.storeErrCtr = reg.Counter("service.store.write_errors")
+		m.oversizeCtr = reg.Counter("service.store.oversize_skipped")
+		m.bootCtr = reg.Counter("service.store.loaded_at_boot")
+		m.diskBytes = reg.Gauge("service.store.bytes")
+		m.diskEntries = reg.Gauge("service.store.entries")
+		m.bootCtr.Add(uint64(boot.Loaded))
+		m.corruptCtr.Add(uint64(boot.Quarantined))
+		m.diskEvictCtr.Add(uint64(boot.Evicted))
+		m.diskBytes.Set(store.totalBytes())
+		m.diskEntries.Set(int64(store.len()))
+	}
+	return m, nil
 }
 
 // Metrics snapshots the service instrument registry.
@@ -201,26 +273,30 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 
 	if entry, ok := m.cache.get(key); ok {
 		m.hitCtr.Inc()
-		j.state = StateDone
-		j.cached = true
-		j.result = entry.result
-		j.trace = entry.trace
-		j.progress = harness.Progress{} // nothing simulated
-		close(j.done)
-		m.jobs[j.id] = j
-		m.order = append(m.order, j.id)
-		m.doneCtr.Inc()
-		return m.viewLocked(j), nil
+		return m.resolveCachedLocked(j, entry), nil
 	}
 	m.missCtr.Inc()
 
-	queued := 0
-	for _, other := range m.jobs {
-		if other.state == StateQueued {
-			queued++
+	// Memory miss: consult the disk store. A verified disk entry is
+	// promoted into the memory front and served exactly like a memory
+	// hit; a corrupted one has been quarantined and the job simulates
+	// afresh.
+	if m.store != nil {
+		entry, ok, corrupt := m.store.get(key)
+		if corrupt {
+			m.corruptCtr.Inc()
+			m.syncStoreGaugesLocked()
 		}
+		if ok {
+			m.diskHitCtr.Inc()
+			m.evictCtr.Add(uint64(m.cache.put(key, entry)))
+			m.entriesGauge.Set(int64(m.cache.len()))
+			return m.resolveCachedLocked(j, entry), nil
+		}
+		m.diskMissCtr.Inc()
 	}
-	if queued >= m.cfg.MaxQueuedJobs {
+
+	if m.queued >= m.cfg.MaxQueuedJobs {
 		return JobView{}, ErrQueueFull
 	}
 
@@ -229,10 +305,34 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	j.cancel = cancel
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	m.queued++
 	m.queuedGauge.Add(1)
 	m.wg.Add(1)
 	go m.run(ctx, j)
 	return m.viewLocked(j), nil
+}
+
+// resolveCachedLocked completes a submission from a cached entry: the
+// job is born terminal with the stored payload served byte-identical.
+func (m *Manager) resolveCachedLocked(j *job, entry cacheEntry) JobView {
+	j.state = StateDone
+	j.cached = true
+	j.result = entry.result
+	j.trace = entry.trace
+	j.progress = harness.Progress{} // nothing simulated
+	close(j.done)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.doneCtr.Inc()
+	m.recordTerminalLocked(j)
+	return m.viewLocked(j)
+}
+
+// syncStoreGaugesLocked refreshes the disk store level gauges after any
+// store mutation.
+func (m *Manager) syncStoreGaugesLocked() {
+	m.diskBytes.Set(m.store.totalBytes())
+	m.diskEntries.Set(int64(m.store.len()))
 }
 
 // run drives one job from queued to a terminal state.
@@ -253,6 +353,7 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	if j.state == StateQueued { // not cancelled in the gap
 		j.state = StateRunning
 		j.started = time.Now()
+		m.queued--
 		m.queuedGauge.Add(-1)
 		m.runningGauge.Add(1)
 	}
@@ -299,9 +400,21 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		j.state = StateDone
 		j.result = result
 		j.trace = traceJSON
-		evicted := m.cache.put(j.key, cacheEntry{result: result, trace: traceJSON})
+		entry := cacheEntry{result: result, trace: traceJSON}
+		evicted := m.cache.put(j.key, entry)
 		m.evictCtr.Add(uint64(evicted))
 		m.entriesGauge.Set(int64(m.cache.len()))
+		if m.store != nil {
+			stored, diskEvicted, serr := m.store.put(j.key, entry)
+			switch {
+			case serr != nil:
+				m.storeErrCtr.Inc() // not persisted; memory tier still serves it
+			case !stored:
+				m.oversizeCtr.Inc() // bigger than the whole byte budget
+			}
+			m.diskEvictCtr.Add(uint64(diskEvicted))
+			m.syncStoreGaugesLocked()
+		}
 		m.doneCtr.Inc()
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
@@ -317,8 +430,10 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		j.elapsed = time.Since(j.started)
 	}
 	if wasQueued {
+		m.queued--
 		m.queuedGauge.Add(-1)
 	}
+	m.recordTerminalLocked(j)
 
 	ev := m.terminalEventLocked(j)
 	for id, ch := range j.subs {
@@ -330,6 +445,38 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		delete(j.subs, id)
 	}
 	close(j.done)
+}
+
+// recordTerminalLocked enrols a just-terminal job in the retention
+// policy: the last RetainTerminalJobs jobs per terminal state stay
+// addressable; older ones are pruned from the manager so a long-lived
+// daemon's job table stays bounded. Pruned payloads remain reachable
+// through the result cache and disk store by resubmitting the spec.
+func (m *Manager) recordTerminalLocked(j *job) {
+	m.terminalByState[j.state] = append(m.terminalByState[j.state], j.id)
+	pruned := false
+	for state, ids := range m.terminalByState {
+		for len(ids) > m.cfg.RetainTerminalJobs {
+			delete(m.jobs, ids[0])
+			ids = ids[1:]
+			pruned = true
+		}
+		m.terminalByState[state] = ids
+	}
+	if pruned {
+		kept := m.order[:0]
+		for _, id := range m.order {
+			if _, ok := m.jobs[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		m.order = kept
+	}
+	retained := 0
+	for _, ids := range m.terminalByState {
+		retained += len(ids)
+	}
+	m.retainedGauge.Set(int64(retained))
 }
 
 // terminalEventLocked renders a job's final stream event.
@@ -394,8 +541,9 @@ func (m *Manager) viewLocked(j *job) JobView {
 	return JobView{
 		ID: j.id, State: j.state, Cached: j.cached, CacheKey: j.key,
 		Completed: j.progress.Completed, Total: j.progress.Total,
-		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
-		Error:     j.errMsg, HasTrace: len(j.trace) > 0, Spec: j.spec,
+		FailedCells: j.progress.Failed,
+		ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		Error:       j.errMsg, HasTrace: len(j.trace) > 0, Spec: j.spec,
 	}
 }
 

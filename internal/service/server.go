@@ -188,8 +188,9 @@ func NewServer(m *Manager) http.Handler {
 							write(StreamEvent{
 								Job: view.ID, State: view.State,
 								Completed: view.Completed, Total: view.Total,
-								ElapsedMs: view.ElapsedMs,
-								Cached:    view.Cached, Error: view.Error,
+								FailedCells: view.FailedCells,
+								ElapsedMs:   view.ElapsedMs,
+								Cached:      view.Cached, Error: view.Error,
 							})
 						}
 					}

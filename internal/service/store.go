@@ -1,0 +1,391 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// storeSchema versions the on-disk entry format. Bump it whenever the
+// header fields or the file layout change; entries written under any
+// other schema are quarantined on read, never misinterpreted.
+const storeSchema = "icesimd-store-v1"
+
+// storeHeader is the integrity header written as the first line of
+// every entry file, followed by the raw result bytes and then the raw
+// trace bytes. Lengths and checksums let a reader detect truncation
+// and corruption before serving a single payload byte.
+type storeHeader struct {
+	Schema    string `json:"schema"`
+	Version   string `json:"version"` // code version the entry was produced by
+	Key       string `json:"key"`
+	ResultLen int64  `json:"result_len"`
+	ResultSHA string `json:"result_sha256"`
+	TraceLen  int64  `json:"trace_len"`
+	TraceSHA  string `json:"trace_sha256"`
+}
+
+// storeItem is one indexed on-disk entry; size is payload bytes
+// (result + trace), the unit of the store's byte budget.
+type storeItem struct {
+	key  string
+	size int64
+}
+
+// diskStore is the persistent tier behind the in-memory result cache:
+// entries live at <root>/cache/<key[:2]>/<key>, written via temp file +
+// fsync + rename so a crash (SIGKILL mid-write included) leaves either
+// the complete old state or a stray temp file that the next boot
+// removes — never a partial entry under a live name. Reads verify the
+// header's lengths and SHA-256 checksums; anything that fails moves to
+// <root>/corrupt/ and reports a miss, so a damaged entry is
+// re-simulated rather than served.
+//
+// Eviction is byte-budgeted in LRU order: traced entries are megabytes
+// while untraced ones are kilobytes, so bounding bytes (not entry
+// count) is what actually bounds the footprint. Access order survives
+// restarts approximately via file mtimes.
+//
+// Like resultCache, the store is not self-locking: the owning Manager
+// serialises every call under its mutex, which also keeps the obs
+// instruments race-free.
+type diskStore struct {
+	root    string // state dir; entries under root/cache, rejects under root/corrupt
+	budget  int64  // max total payload bytes on disk
+	version string // current code version; other versions' entries are unreachable
+
+	ll    *list.List // front = most recently used; values are *storeItem
+	items map[string]*list.Element
+	bytes int64 // total payload bytes indexed
+}
+
+// storeBootStats reports what the startup scan found, for the boot
+// instruments.
+type storeBootStats struct {
+	Loaded      int   // intact entries indexed
+	LoadedBytes int64 // their payload bytes
+	Quarantined int   // damaged entries moved to corrupt/
+	Evicted     int   // intact entries dropped to fit the budget
+}
+
+// openDiskStore creates the directory layout under root if needed and
+// rebuilds the index by scanning existing entries. Damaged entries are
+// quarantined immediately; entries from other code versions are
+// removed (their keys embed the version, so they can never be hit);
+// stray temp files from an interrupted write are deleted. If the
+// surviving entries exceed the budget the oldest are evicted until
+// they fit.
+func openDiskStore(root string, budget int64, version string) (*diskStore, storeBootStats, error) {
+	if budget <= 0 {
+		budget = 1 << 30 // 1 GiB
+	}
+	s := &diskStore{
+		root: root, budget: budget, version: version,
+		ll: list.New(), items: make(map[string]*list.Element),
+	}
+	var stats storeBootStats
+	for _, dir := range []string{s.cacheDir(), s.corruptDir()} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, stats, fmt.Errorf("service: state dir: %w", err)
+		}
+	}
+
+	type found struct {
+		item  storeItem
+		mtime time.Time
+	}
+	var entries []found
+	err := filepath.WalkDir(s.cacheDir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if isTempName(d.Name()) { // interrupted write; the rename never happened
+			os.Remove(path)
+			return nil
+		}
+		hdr, size, verr := s.verifyHeader(path, d.Name())
+		switch {
+		case verr != nil:
+			s.quarantine(path)
+			stats.Quarantined++
+		case hdr.Version != s.version:
+			os.Remove(path) // unreachable: keys are version-scoped
+		default:
+			info, ierr := d.Info()
+			if ierr != nil {
+				return nil // raced with removal; skip
+			}
+			entries = append(entries, found{
+				item:  storeItem{key: hdr.Key, size: size},
+				mtime: info.ModTime(),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("service: state dir scan: %w", err)
+	}
+
+	// Oldest first, so the most recently touched entry ends up at the
+	// front of the LRU list.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		s.items[e.item.key] = s.ll.PushFront(&storeItem{key: e.item.key, size: e.item.size})
+		s.bytes += e.item.size
+	}
+	stats.Loaded = len(entries)
+	stats.LoadedBytes = s.bytes
+	stats.Evicted = s.evictToBudget()
+	stats.Loaded -= stats.Evicted
+	stats.LoadedBytes = s.bytes
+	return s, stats, nil
+}
+
+func (s *diskStore) cacheDir() string   { return filepath.Join(s.root, "cache") }
+func (s *diskStore) corruptDir() string { return filepath.Join(s.root, "corrupt") }
+
+// entryPath shards entries by the first two hex digits of the key so
+// no single directory grows unbounded.
+func (s *diskStore) entryPath(key string) string {
+	return filepath.Join(s.cacheDir(), key[:2], key)
+}
+
+const tempPrefix = ".tmp-"
+
+func isTempName(name string) bool {
+	return len(name) >= len(tempPrefix) && name[:len(tempPrefix)] == tempPrefix
+}
+
+// verifyHeader reads and validates just the header of the entry at
+// path (schema, key/filename match, file size consistent with the
+// declared payload lengths). It does not hash the payloads — get does
+// that before serving. Returns the header and the payload size.
+func (s *diskStore) verifyHeader(path, name string) (storeHeader, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return storeHeader{}, 0, err
+	}
+	defer f.Close()
+	hdr, hdrLen, err := readHeader(f)
+	if err != nil {
+		return storeHeader{}, 0, err
+	}
+	if hdr.Key != name {
+		return storeHeader{}, 0, fmt.Errorf("key %q does not match filename %q", hdr.Key, name)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return storeHeader{}, 0, err
+	}
+	payload := hdr.ResultLen + hdr.TraceLen
+	if info.Size() != int64(hdrLen)+payload {
+		return storeHeader{}, 0, fmt.Errorf("size %d, header declares %d", info.Size(), int64(hdrLen)+payload)
+	}
+	return hdr, payload, nil
+}
+
+// readHeader parses the first line of an entry file into a storeHeader
+// and returns how many bytes the line (newline included) occupied.
+func readHeader(r io.Reader) (storeHeader, int, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return storeHeader{}, 0, fmt.Errorf("header line: %w", err)
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return storeHeader{}, 0, fmt.Errorf("header JSON: %w", err)
+	}
+	if hdr.Schema != storeSchema {
+		return storeHeader{}, 0, fmt.Errorf("schema %q, want %q", hdr.Schema, storeSchema)
+	}
+	if hdr.ResultLen < 0 || hdr.TraceLen < 0 {
+		return storeHeader{}, 0, fmt.Errorf("negative payload length")
+	}
+	return hdr, len(line), nil
+}
+
+// get loads and fully verifies the entry for key. corrupt reports that
+// an indexed entry existed but failed verification and was quarantined
+// — the caller should count it and re-simulate.
+func (s *diskStore) get(key string) (e cacheEntry, ok, corrupt bool) {
+	el, indexed := s.items[key]
+	if !indexed {
+		return cacheEntry{}, false, false
+	}
+	path := s.entryPath(key)
+	entry, err := s.readEntry(path, key)
+	if err != nil {
+		s.quarantine(path)
+		s.dropIndexed(el)
+		return cacheEntry{}, false, true
+	}
+	s.ll.MoveToFront(el)
+	// Best-effort recency stamp so LRU order survives a restart.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return entry, true, false
+}
+
+// readEntry reads one entry file end to end, checking the header,
+// lengths and payload checksums before returning the payloads.
+func (s *diskStore) readEntry(path, key string) (cacheEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	hdr, hdrLen, err := readHeader(bytes.NewReader(raw))
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	if hdr.Key != key {
+		return cacheEntry{}, fmt.Errorf("key mismatch")
+	}
+	if hdr.Version != s.version {
+		return cacheEntry{}, fmt.Errorf("version %q, want %q", hdr.Version, s.version)
+	}
+	body := raw[hdrLen:]
+	if int64(len(body)) != hdr.ResultLen+hdr.TraceLen {
+		return cacheEntry{}, fmt.Errorf("truncated: %d payload bytes, header declares %d", len(body), hdr.ResultLen+hdr.TraceLen)
+	}
+	result := body[:hdr.ResultLen]
+	trace := body[hdr.ResultLen:]
+	if sha256Hex(result) != hdr.ResultSHA {
+		return cacheEntry{}, fmt.Errorf("result checksum mismatch")
+	}
+	if sha256Hex(trace) != hdr.TraceSHA {
+		return cacheEntry{}, fmt.Errorf("trace checksum mismatch")
+	}
+	if len(trace) == 0 {
+		trace = nil // preserve the nil-means-untraced convention
+	}
+	return cacheEntry{result: result, trace: trace}, nil
+}
+
+// put persists the entry for key atomically and evicts least-recently
+// used entries until the byte budget holds. Entries bigger than the
+// whole budget are not written (stored false — they would evict
+// everything and still not fit; the caller counts the skip). A write
+// failure leaves the store consistent (the entry is simply not
+// persisted) and is reported for the error counter.
+func (s *diskStore) put(key string, e cacheEntry) (stored bool, evicted int, err error) {
+	if el, ok := s.items[key]; ok {
+		// Same key ⇒ byte-identical payload (simulations are
+		// deterministic); refresh recency, skip the rewrite.
+		s.ll.MoveToFront(el)
+		return true, 0, nil
+	}
+	size := int64(len(e.result) + len(e.trace))
+	if size > s.budget {
+		return false, 0, nil
+	}
+	if err := s.writeEntry(key, e); err != nil {
+		return false, 0, err
+	}
+	s.items[key] = s.ll.PushFront(&storeItem{key: key, size: size})
+	s.bytes += size
+	return true, s.evictToBudget(), nil
+}
+
+// writeEntry writes header + payloads to a temp file in the entry's
+// final directory, fsyncs, and renames into place.
+func (s *diskStore) writeEntry(key string, e cacheEntry) error {
+	hdr := storeHeader{
+		Schema: storeSchema, Version: s.version, Key: key,
+		ResultLen: int64(len(e.result)), ResultSHA: sha256Hex(e.result),
+		TraceLen: int64(len(e.trace)), TraceSHA: sha256Hex(e.trace),
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(s.entryPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, tempPrefix+"*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	for _, chunk := range [][]byte{line, {'\n'}, e.result, e.trace} {
+		if _, err := tmp.Write(chunk); err != nil {
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, s.entryPath(key)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// evictToBudget removes least-recently used entries (index and file)
+// until total payload bytes fit the budget.
+func (s *diskStore) evictToBudget() (evicted int) {
+	for s.bytes > s.budget && s.ll.Len() > 0 {
+		oldest := s.ll.Back()
+		os.Remove(s.entryPath(oldest.Value.(*storeItem).key))
+		s.dropIndexed(oldest)
+		evicted++
+	}
+	return evicted
+}
+
+// dropIndexed removes one element from the index and byte accounting
+// (the file is the caller's problem — already removed or quarantined).
+func (s *diskStore) dropIndexed(el *list.Element) {
+	item := s.ll.Remove(el).(*storeItem)
+	delete(s.items, item.key)
+	s.bytes -= item.size
+}
+
+// quarantine moves a damaged entry into corrupt/ (best effort; if even
+// the rename fails the file is deleted so it can never be re-indexed).
+func (s *diskStore) quarantine(path string) {
+	base := filepath.Base(path)
+	dest := filepath.Join(s.corruptDir(), base)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dest); os.IsNotExist(err) {
+			break
+		}
+		dest = filepath.Join(s.corruptDir(), fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dest); err != nil {
+		os.Remove(path)
+	}
+}
+
+// len reports the number of indexed entries; totalBytes their summed
+// payload bytes.
+func (s *diskStore) len() int { return s.ll.Len() }
+
+func (s *diskStore) totalBytes() int64 { return s.bytes }
+
+func sha256Hex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
