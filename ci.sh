@@ -2,12 +2,15 @@
 # ci.sh — the repo's tier-1 gate plus hygiene checks:
 #   gofmt (no unformatted files), go vet, build, the full test suite
 #   under the race detector (the harness worker pool must stay
-#   race-free at any -workers setting), a one-iteration benchmark
-#   smoke pass (benchmarks must at least run), a golden-file
-#   check on the Perfetto trace exporter, and an icesimd smoke test
-#   (boot with a state dir, health check, one cached job round-trip,
-#   SIGTERM drain, then a restart on the same state dir that must serve
-#   the job byte-identical from the persistent result store).
+#   race-free at any -workers setting), a flake guard re-running the
+#   concurrency-heavy packages, a one-iteration benchmark smoke pass
+#   (benchmarks must at least run), a golden-file check on the Perfetto
+#   trace exporter, an icesimd smoke test (boot with a state dir,
+#   health check, one cached job round-trip, SIGTERM drain, then a
+#   restart on the same state dir that must serve the job
+#   byte-identical from the persistent result store), and a multi-node
+#   smoke test (coordinator + two workers shard a job and must match
+#   the single-node bytes, including after one worker is SIGKILLed).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,6 +24,12 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Flake guard: the packages with real concurrency (the harness worker
+# pool, the job manager and its sharding dispatcher) must pass twice in
+# a row under the race detector. A scheduling-order dependence usually
+# shows up on the second, cache-warm iteration.
+go test -race -count=2 -timeout 20m ./internal/harness/ ./internal/service/
 
 # Benchmarks stay runnable: one iteration each, no timing claims.
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -37,21 +46,34 @@ go test -run=TestExportChromeGolden ./internal/trace/
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 go build -o "$smokedir/icesimd" ./cmd/icesimd
-"$smokedir/icesimd" -addr 127.0.0.1:0 -state-dir "$smokedir/state" >"$smokedir/log" &
-daemon=$!
-addr=""
-for _ in $(seq 1 50); do
-    addr=$(sed -n 's/^icesimd listening on //p' "$smokedir/log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "icesimd never reported its port" >&2; cat "$smokedir/log" >&2; exit 1; }
+
+# boot_icesimd LOG [ARGS...] — start a daemon on a random port, wait for
+# the definite port line, set $daemon (pid) and $addr (host:port).
+boot_icesimd() {
+    local log=$1; shift
+    "$smokedir/icesimd" -addr 127.0.0.1:0 "$@" >"$log" &
+    daemon=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^icesimd listening on //p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "icesimd ($log) never reported its port" >&2; cat "$log" >&2; exit 1; }
+}
+
+# wait_done URL JOB — block until the job's NDJSON stream reports done.
+wait_done() {
+    curl -sfN "$1/jobs/$2/stream" | tail -1 | grep -q '"state":"done"'
+}
+
+boot_icesimd "$smokedir/log" -state-dir "$smokedir/state"
 
 curl -sf "http://$addr/healthz" | grep -q true
 spec='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":1,"seed":11}'
 curl -sf -X POST "http://$addr/jobs" -d "$spec" >/dev/null
 # The NDJSON stream ends when the job does.
-curl -sfN "http://$addr/jobs/job-1/stream" | tail -1 | grep -q '"state":"done"'
+wait_done "http://$addr" job-1
 curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/r1"
 curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true'
 curl -sf "http://$addr/jobs/job-2/result" >"$smokedir/r2"
@@ -63,15 +85,7 @@ wait "$daemon" || { echo "icesimd did not drain cleanly" >&2; cat "$smokedir/log
 grep -q 'drained, bye' "$smokedir/log"
 
 # Second boot on the same state dir: the job must be a disk-cache hit.
-"$smokedir/icesimd" -addr 127.0.0.1:0 -state-dir "$smokedir/state" >"$smokedir/log2" &
-daemon=$!
-addr=""
-for _ in $(seq 1 50); do
-    addr=$(sed -n 's/^icesimd listening on //p' "$smokedir/log2")
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "icesimd (restart) never reported its port" >&2; cat "$smokedir/log2" >&2; exit 1; }
+boot_icesimd "$smokedir/log2" -state-dir "$smokedir/state"
 curl -sf "http://$addr/metrics" | grep 'service.store.loaded_at_boot' | grep -q ' 1$' \
     || { echo "restarted daemon did not load the stored entry" >&2; curl -sf "http://$addr/metrics" >&2; exit 1; }
 curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true' \
@@ -83,5 +97,68 @@ curl -sf "http://$addr/metrics" | grep 'service.store.disk_hits' | grep -q ' 1$'
 kill -TERM "$daemon"
 wait "$daemon" || { echo "icesimd (restart) did not drain cleanly" >&2; cat "$smokedir/log2" >&2; exit 1; }
 grep -q 'drained, bye' "$smokedir/log2"
+
+# Multi-node smoke: two workers plus a coordinator shard a job's cell
+# matrix across three daemons. The sharded payload must be
+# byte-identical to a single-node run of the same spec — and must stay
+# identical when a worker is SIGKILLed out of the rotation, because a
+# failed chunk is re-dispatched or re-run locally.
+boot_icesimd "$smokedir/w1.log" -role worker
+w1=$addr; w1pid=$daemon
+boot_icesimd "$smokedir/w2.log" -role worker
+w2=$addr; w2pid=$daemon
+# The long health interval freezes the coordinator's post-boot view of
+# the cluster, which makes the SIGKILL case below deterministic: the
+# dead worker stays in rotation until a dispatch to it fails.
+boot_icesimd "$smokedir/coord.log" -peers "$w1,$w2" -health-interval 10m
+coord=$addr; coordpid=$daemon
+
+# The boot-time probe must admit both workers.
+healthy=0
+for _ in $(seq 1 50); do
+    healthy=$(curl -sf "http://$coord/metrics" | grep 'service\.shard\.peer_healthy' | grep -c ' 1$' || true)
+    [ "$healthy" -eq 2 ] && break
+    sleep 0.1
+done
+[ "$healthy" -eq 2 ] || { echo "coordinator admitted $healthy of 2 workers" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+
+# A 2-axis experiment (bg-count × round), sharded vs single-node.
+specA='{"kind":"experiment","experiment":"table1","fast":true}'
+curl -sf -X POST "http://$w1/jobs" -d "$specA" >/dev/null
+wait_done "http://$w1" job-1
+curl -sf "http://$w1/jobs/job-1/result" >"$smokedir/single"
+curl -sf -X POST "http://$coord/jobs" -d "$specA" >/dev/null
+wait_done "http://$coord" job-1
+curl -sf "http://$coord/jobs/job-1/result" >"$smokedir/sharded"
+cmp -s "$smokedir/single" "$smokedir/sharded" \
+    || { echo "sharded experiment result not byte-identical to single-node" >&2; exit 1; }
+curl -sf "http://$coord/metrics" | grep 'service\.shard\.remote_cells' | awk '{ exit !($3 > 0) }' \
+    || { echo "no cells executed remotely" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+
+# SIGKILL one worker, then shard a fresh job through the stale
+# rotation: the dispatch to the dead worker must fail over without
+# changing a byte of the result.
+specB='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":6,"seed":23,"trace":true}'
+curl -sf -X POST "http://$w1/jobs" -d "$specB" >/dev/null
+wait_done "http://$w1" job-2
+curl -sf "http://$w1/jobs/job-2/result" >"$smokedir/single2"
+curl -sf "http://$w1/jobs/job-2/trace" >"$smokedir/single2.trace"
+kill -9 "$w2pid"
+curl -sf -X POST "http://$coord/jobs" -d "$specB" >/dev/null
+wait_done "http://$coord" job-2
+curl -sf "http://$coord/jobs/job-2/result" >"$smokedir/sharded2"
+curl -sf "http://$coord/jobs/job-2/trace" >"$smokedir/sharded2.trace"
+cmp -s "$smokedir/single2" "$smokedir/sharded2" \
+    || { echo "result changed after SIGKILLed worker" >&2; exit 1; }
+cmp -s "$smokedir/single2.trace" "$smokedir/sharded2.trace" \
+    || { echo "trace changed after SIGKILLed worker" >&2; exit 1; }
+curl -sf "http://$coord/metrics" | grep 'service\.shard\.peer_failures' | awk '{ exit !($3 >= 1) }' \
+    || { echo "dead-worker dispatch failure not counted" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+
+kill -TERM "$coordpid"
+wait "$coordpid" || { echo "coordinator did not drain cleanly" >&2; cat "$smokedir/coord.log" >&2; exit 1; }
+kill -TERM "$w1pid"
+wait "$w1pid" || { echo "worker 1 did not drain cleanly" >&2; cat "$smokedir/w1.log" >&2; exit 1; }
+wait "$w2pid" 2>/dev/null || true  # SIGKILLed above
 
 echo "ci.sh: all checks passed"

@@ -6,9 +6,11 @@
 //	icesim -device P20 -scenario S-A -scheme Ice -bg 8 -duration 60
 //	icesim -device Pixel3 -scenario S-D -scheme LRU+CFS -case memtester
 //	icesim -scheme Ice -rounds 10 -workers 4   # repeated, pooled rounds
+//	icesim -zram-codec zstd                    # denser, slower zram tier
 //
 // Schemes: LRU+CFS, UCSG, Acclaim, Ice, PowerManager.
 // Cases: null, apps, cputester, memtester.
+// Zram codecs: lz4 (default), zstd, snappy.
 //
 // With -rounds > 1, the rounds run through the internal/harness bounded
 // worker pool with seeds derived per round, and the per-round and mean
@@ -16,8 +18,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/eurosys23/ice/internal/device"
@@ -26,35 +30,68 @@ import (
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/trace"
 	"github.com/eurosys23/ice/internal/workload"
+	"github.com/eurosys23/ice/internal/zram"
 )
 
-func main() {
+// options is the fully validated CLI configuration: flag parsing and
+// name resolution live in parseFlags so they are testable without
+// running a simulation.
+type options struct {
+	dev      device.Profile
+	sch      policy.Scheme
+	bc       workload.BGCase
+	scenario string
+	numBG    int
+	duration int
+	seed     int64
+	rounds   int
+	workers  int
+	series   bool
+	traceN   int
+	traceOut string
+	stats    bool
+}
+
+// parseFlags parses args (not including the program name) and resolves
+// every name-valued flag against its registry. Usage/parse errors come
+// back wrapped around flag.ErrHelp semantics: the caller decides the
+// exit code.
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("icesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		devName  = flag.String("device", "P20", "device profile: Pixel3, P20, P40, Pixel4")
-		scenario = flag.String("scenario", "S-A", "scenario: S-A (video call), S-B (short video), S-C (scrolling), S-D (game)")
-		scheme   = flag.String("scheme", "LRU+CFS", "management scheme")
-		bgCase   = flag.String("case", "apps", "background case: null, apps, cputester, memtester")
-		numBG    = flag.Int("bg", 0, "cached BG apps (0 = device default)")
-		duration = flag.Int("duration", 60, "measured seconds")
-		seed     = flag.Int64("seed", 1, "random seed")
-		rounds   = flag.Int("rounds", 1, "repetitions with re-derived seeds (1 = single verbose run)")
-		workers  = flag.Int("workers", 0, "max rounds in flight when -rounds > 1 (0 = GOMAXPROCS)")
-		series   = flag.Bool("series", false, "print the per-second FPS series")
-		traceN   = flag.Int("trace", 0, "record a Systrace-like event ring of this capacity and print its summary")
-		traceOut = flag.String("trace-out", "", "write the recorded trace as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)")
-		stats    = flag.Bool("stats", false, "dump the instrument-registry snapshot (counters, gauges, histograms)")
+		devName   = fs.String("device", "P20", "device profile: Pixel3, P20, P40, Pixel4")
+		scenario  = fs.String("scenario", "S-A", "scenario: S-A (video call), S-B (short video), S-C (scrolling), S-D (game)")
+		scheme    = fs.String("scheme", "LRU+CFS", "management scheme")
+		bgCase    = fs.String("case", "apps", "background case: null, apps, cputester, memtester")
+		numBG     = fs.Int("bg", 0, "cached BG apps (0 = device default)")
+		duration  = fs.Int("duration", 60, "measured seconds")
+		seed      = fs.Int64("seed", 1, "random seed")
+		rounds    = fs.Int("rounds", 1, "repetitions with re-derived seeds (1 = single verbose run)")
+		workers   = fs.Int("workers", 0, "max rounds in flight when -rounds > 1 (0 = GOMAXPROCS)")
+		series    = fs.Bool("series", false, "print the per-second FPS series")
+		traceN    = fs.Int("trace", 0, "record a Systrace-like event ring of this capacity and print its summary")
+		traceOut  = fs.String("trace-out", "", "write the recorded trace as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)")
+		stats     = fs.Bool("stats", false, "dump the instrument-registry snapshot (counters, gauges, histograms)")
+		zramCodec = fs.String("zram-codec", "", "zram compression preset: lz4, zstd, snappy (empty = device default, lz4)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
 
 	dev, ok := device.ByName(*devName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown device %q\n", *devName)
-		os.Exit(2)
+		return options{}, fmt.Errorf("unknown device %q", *devName)
 	}
+	if _, err := zram.Preset(*zramCodec); err != nil {
+		return options{}, err
+	}
+	// The codec rides on the device profile: device.Apply resolves it
+	// when the simulation builds the zram tier.
+	dev.ZramCodec = *zramCodec
 	sch, err := policy.ByName(*scheme)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return options{}, err
 	}
 	var bc workload.BGCase
 	switch *bgCase {
@@ -67,35 +104,52 @@ func main() {
 	case "memtester":
 		bc = workload.BGMemtester
 	default:
-		fmt.Fprintf(os.Stderr, "unknown case %q\n", *bgCase)
+		return options{}, fmt.Errorf("unknown case %q", *bgCase)
+	}
+
+	return options{
+		dev: dev, sch: sch, bc: bc,
+		scenario: *scenario, numBG: *numBG, duration: *duration,
+		seed: *seed, rounds: *rounds, workers: *workers,
+		series: *series, traceN: *traceN, traceOut: *traceOut, stats: *stats,
+	}, nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	if *rounds > 1 {
-		runRounds(dev, sch, bc, *scenario, *numBG, *duration, *seed, *rounds, *workers)
+	if o.rounds > 1 {
+		runRounds(o.dev, o.sch, o.bc, o.scenario, o.numBG, o.duration, o.seed, o.rounds, o.workers)
 		return
 	}
 
 	// A Perfetto export needs a recorded trace; give -trace-out a roomy
 	// default ring when -trace didn't size one explicitly.
-	traceCap := *traceN
-	if *traceOut != "" && traceCap == 0 {
+	traceCap := o.traceN
+	if o.traceOut != "" && traceCap == 0 {
 		traceCap = 1 << 17
 	}
 
 	res := workload.RunScenario(workload.ScenarioConfig{
-		Scenario: *scenario,
-		Device:   dev,
-		Scheme:   sch,
-		BGCase:   bc,
-		NumBG:    *numBG,
-		Duration: sim.Time(*duration) * sim.Second,
-		Seed:     *seed,
+		Scenario: o.scenario,
+		Device:   o.dev,
+		Scheme:   o.sch,
+		BGCase:   o.bc,
+		NumBG:    o.numBG,
+		Duration: sim.Time(o.duration) * sim.Second,
+		Seed:     o.seed,
 		TraceCap: traceCap,
 	})
 
-	fmt.Printf("device    : %s\n", dev)
-	fmt.Printf("scenario  : %s (%s), scheme %s, %v\n", *scenario, bc, sch.Name(), res.Config.Duration)
+	fmt.Printf("device    : %s\n", o.dev)
+	fmt.Printf("scenario  : %s (%s), scheme %s, %v\n", o.scenario, o.bc, o.sch.Name(), res.Config.Duration)
 	fmt.Printf("frames    : %s\n", res.Frames)
 	fmt.Printf("memory    : reclaimed=%d refaulted=%d (FG %d / BG %d, 4KiB-eq x16)\n",
 		res.Mem.Total.Reclaimed, res.Mem.Total.Refaulted, res.Mem.RefaultFG, res.Mem.RefaultBG)
@@ -115,22 +169,22 @@ func main() {
 	if res.FrozenApps > 0 {
 		fmt.Printf("ice       : %d applications frozen\n", res.FrozenApps)
 	}
-	if *series {
+	if o.series {
 		fmt.Printf("fps series: ")
 		for _, f := range res.Frames.FPSSeries {
 			fmt.Printf("%.0f ", f)
 		}
 		fmt.Println()
 	}
-	if res.Trace != nil && *traceN > 0 {
+	if res.Trace != nil && o.traceN > 0 {
 		fmt.Println("trace summary (count × event, total args):")
 		for _, s := range res.Trace.Summarize() {
 			fmt.Printf("  %6d  %-8s %-14s argsum=%d arg2sum=%d\n",
 				s.Count, s.Cat, s.Name, s.ArgSum, s.Arg2Sum)
 		}
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -143,9 +197,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace     : %d events exported to %s\n", res.Trace.Len(), *traceOut)
+		fmt.Printf("trace     : %d events exported to %s\n", res.Trace.Len(), o.traceOut)
 	}
-	if *stats {
+	if o.stats {
 		fmt.Println("instrument registry:")
 		fmt.Print(res.Obs.String())
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.dev.Name != "P20" || o.scenario != "S-A" || o.sch.Name() != "LRU+CFS" {
+		t.Errorf("defaults: device=%s scenario=%s scheme=%s", o.dev.Name, o.scenario, o.sch.Name())
+	}
+	if o.dev.ZramCodec != "" {
+		t.Errorf("default ZramCodec = %q, want empty (device default)", o.dev.ZramCodec)
+	}
+	if o.duration != 60 || o.rounds != 1 || o.seed != 1 {
+		t.Errorf("defaults: duration=%d rounds=%d seed=%d", o.duration, o.rounds, o.seed)
+	}
+}
+
+func TestParseFlagsZramCodec(t *testing.T) {
+	for _, codec := range []string{"lz4", "zstd", "snappy"} {
+		o, err := parseFlags([]string{"-zram-codec", codec}, io.Discard)
+		if err != nil {
+			t.Fatalf("-zram-codec %s: %v", codec, err)
+		}
+		if o.dev.ZramCodec != codec {
+			t.Errorf("-zram-codec %s: profile carries %q", codec, o.dev.ZramCodec)
+		}
+	}
+
+	_, err := parseFlags([]string{"-zram-codec", "lzma"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown codec") {
+		t.Errorf("-zram-codec lzma accepted (err = %v)", err)
+	}
+}
+
+func TestParseFlagsRejectsBadNames(t *testing.T) {
+	for _, args := range [][]string{
+		{"-device", "iPhone15"},
+		{"-scheme", "MGLRU"},
+		{"-case", "burnin"},
+		{"-not-a-flag"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+func TestParseFlagsResolvesEverything(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-device", "Pixel3", "-scenario", "S-D", "-scheme", "Ice",
+		"-case", "memtester", "-bg", "6", "-duration", "30",
+		"-seed", "99", "-rounds", "4", "-workers", "2",
+		"-zram-codec", "zstd",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.dev.Name != "Pixel3" || o.sch.Name() != "Ice" || o.scenario != "S-D" {
+		t.Errorf("resolved: device=%s scheme=%s scenario=%s", o.dev.Name, o.sch.Name(), o.scenario)
+	}
+	if o.bc.String() != "BG-memtester" {
+		t.Errorf("bg case = %s", o.bc)
+	}
+	if o.numBG != 6 || o.duration != 30 || o.seed != 99 || o.rounds != 4 || o.workers != 2 {
+		t.Errorf("numeric flags: %+v", o)
+	}
+	if o.dev.ZramCodec != "zstd" {
+		t.Errorf("ZramCodec = %q", o.dev.ZramCodec)
+	}
+}

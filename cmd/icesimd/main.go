@@ -34,6 +34,21 @@
 // SIGTERM/SIGINT drains gracefully: submissions are rejected, in-flight
 // jobs finish (up to -drain-timeout, then they are cancelled), and the
 // process exits cleanly.
+//
+// Several daemons form a cluster. Workers opt in to serving foreign
+// cell ranges; a coordinator lists its workers and shards each job's
+// cell matrix across itself plus every healthy peer:
+//
+//	icesimd -role worker -addr 127.0.0.1:7824
+//	icesimd -role worker -addr 127.0.0.1:7825
+//	icesimd -peers 127.0.0.1:7824,127.0.0.1:7825
+//
+// Sharded jobs return byte-identical results to single-node runs: cell
+// seeds derive from the job spec alone and the coordinator merges
+// per-cell payloads back in matrix order. A peer that dies or times
+// out mid-job only costs wall-clock — its chunk re-runs locally
+// (-shard-timeout, -shard-retries). Peer health is re-probed every
+// -health-interval, so a restarted worker rejoins the rotation.
 package main
 
 import (
@@ -45,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,8 +78,31 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "disk store payload-byte budget (0 = 1 GiB; needs -state-dir)")
 		retainJobs   = flag.Int("retain-jobs", 0, "terminal jobs kept per state for /jobs (0 = 256)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+
+		role           = flag.String("role", "node", "node role: node, or worker (serves POST /internal/cells)")
+		peersFlag      = flag.String("peers", "", "comma-separated worker host:port list; makes this node a sharding coordinator")
+		shardTimeout   = flag.Duration("shard-timeout", 5*time.Minute, "per-chunk dispatch timeout before local fallback")
+		shardRetries   = flag.Int("shard-retries", 1, "re-dispatch attempts on other peers before local fallback (0 = none)")
+		healthInterval = flag.Duration("health-interval", 5*time.Second, "peer health-probe period")
 	)
 	flag.Parse()
+
+	if *role != "node" && *role != "worker" {
+		fmt.Fprintf(os.Stderr, "icesimd: unknown -role %q (want node or worker)\n", *role)
+		os.Exit(2)
+	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	// Config uses 0 for "default" and negative for "no retries"; the
+	// flag says what it means, so translate 0 → negative here.
+	retries := *shardRetries
+	if retries <= 0 {
+		retries = -1
+	}
 
 	mgr, err := service.OpenManager(service.Config{
 		MaxWorkers:         *workers,
@@ -73,10 +112,20 @@ func main() {
 		StateDir:           *stateDir,
 		CacheBytes:         *cacheBytes,
 		RetainTerminalJobs: *retainJobs,
+		WorkerEndpoint:     *role == "worker",
+		Peers:              peers,
+		ShardChunkTimeout:  *shardTimeout,
+		ShardRetries:       retries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	healthCtx, stopHealth := context.WithCancel(context.Background())
+	defer stopHealth()
+	if len(peers) > 0 {
+		go mgr.PeerHealthLoop(healthCtx, *healthInterval)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

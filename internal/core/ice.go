@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"github.com/eurosys23/ice/internal/android"
 	"github.com/eurosys23/ice/internal/mm"
@@ -225,12 +226,16 @@ func (f *Framework) Stats() Stats {
 	return s
 }
 
-// FrozenSet returns the UIDs currently in the frozen set.
+// FrozenSet returns the UIDs currently in the frozen set, in UID order.
+// Epoch phases iterate this instead of the map so same-instant
+// freeze/thaw trace events come out in a reproducible order — re-running
+// a seed must yield byte-identical traces.
 func (f *Framework) FrozenSet() []int {
 	out := make([]int, 0, len(f.frozen))
 	for uid := range f.frozen {
 		out = append(out, uid)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -349,7 +354,7 @@ func (f *Framework) scheduleFreezePhase() {
 	if f.cfg.FreezeAllBG {
 		f.freezeAllBackground()
 	}
-	for uid := range f.frozen {
+	for _, uid := range f.FrozenSet() {
 		f.freezeUID(uid, false)
 	}
 	f.sys.Eng.After(f.ef, f.scheduleThawPhase)
@@ -359,7 +364,7 @@ func (f *Framework) scheduleFreezePhase() {
 // re-evaluates the intensity and starts the next epoch.
 func (f *Framework) scheduleThawPhase() {
 	f.inThaw = true
-	for uid := range f.frozen {
+	for _, uid := range f.FrozenSet() {
 		if f.sys.ThawApp(uid) > 0 {
 			f.stats.ThawActions++
 			f.cThaw.Inc()

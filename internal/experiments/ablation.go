@@ -86,10 +86,12 @@ func Ablations(o Options) (AblationResult, error) {
 		Variants:  names,
 		Rounds:    o.Rounds,
 	}
+	// Exported fields: cell results cross process boundaries as JSON
+	// when the daemon shards a matrix (harness.ExecHooks).
 	type sample struct {
-		fps, ria, frozen     float64
-		refaulted, reclaimed uint64
-		thaws                uint64
+		FPS, RIA, Frozen     float64
+		Refaulted, Reclaimed uint64
+		Thaws                uint64
 	}
 	runs, err := mapCells(o, spec.Cells(), func(c harness.Cell) sample {
 		ice := &policy.Ice{Config: variants[c.Index/o.Rounds].cfg()}
@@ -102,14 +104,14 @@ func Ablations(o Options) (AblationResult, error) {
 			Seed:     c.Seed,
 		})
 		s := sample{
-			fps:       sres.Frames.AvgFPS(),
-			ria:       sres.Frames.RIA(),
-			frozen:    float64(sres.FrozenApps),
-			refaulted: sres.Mem.Total.Refaulted,
-			reclaimed: sres.Mem.Total.Reclaimed,
+			FPS:       sres.Frames.AvgFPS(),
+			RIA:       sres.Frames.RIA(),
+			Frozen:    float64(sres.FrozenApps),
+			Refaulted: sres.Mem.Total.Refaulted,
+			Reclaimed: sres.Mem.Total.Reclaimed,
 		}
 		if ice.Framework != nil {
-			s.thaws = ice.Framework.Stats().ThawActions
+			s.Thaws = ice.Framework.Stats().ThawActions
 		}
 		return s
 	})
@@ -122,12 +124,12 @@ func Ablations(o Options) (AblationResult, error) {
 		var fps, ria, frozen harness.Agg
 		var refaulted, reclaimed, thaws harness.Counter
 		for _, s := range runs[i*o.Rounds : (i+1)*o.Rounds] {
-			fps.Add(s.fps)
-			ria.Add(s.ria)
-			frozen.Add(s.frozen)
-			refaulted.Add(s.refaulted)
-			reclaimed.Add(s.reclaimed)
-			thaws.Add(s.thaws)
+			fps.Add(s.FPS)
+			ria.Add(s.RIA)
+			frozen.Add(s.Frozen)
+			refaulted.Add(s.Refaulted)
+			reclaimed.Add(s.Reclaimed)
+			thaws.Add(s.Thaws)
 		}
 		res.Rows[i] = AblationRow{
 			Variant:     variants[i].name,

@@ -48,6 +48,11 @@ type Options struct {
 	// concurrent runners (see harness.Config.Slots); the icesimd daemon
 	// uses it to bound total in-flight simulations across jobs.
 	Slots chan struct{}
+	// Hooks distributes the run matrix across processes (see
+	// harness.ExecHooks): a worker daemon restricts execution to a cell
+	// range and sinks per-cell JSON, a coordinator plans remote chunks.
+	// The zero value keeps execution fully local.
+	Hooks harness.ExecHooks
 }
 
 func (o Options) withDefaults() Options {
@@ -73,7 +78,7 @@ func (o Options) withDefaults() Options {
 
 // config adapts the options to a harness pool configuration.
 func (o Options) config() harness.Config {
-	return harness.Config{BaseSeed: o.Seed, Workers: o.Workers, Progress: o.Progress, Slots: o.Slots}
+	return harness.Config{BaseSeed: o.Seed, Workers: o.Workers, Progress: o.Progress, Slots: o.Slots, ExecHooks: o.Hooks}
 }
 
 // ctx returns the run context (Background when unset).

@@ -51,14 +51,16 @@ func Figure11(o Options) (Figure11Result, error) {
 	}
 	cells = append(cells, harness.Cell{Device: device.P20.Name, Scenario: "worst-case-hot"})
 
+	// Exported fields: cell results cross process boundaries as JSON
+	// when the daemon shards a matrix (harness.ExecHooks).
 	type launchOut struct {
-		row           Figure11SchemeRow
-		worst, normal sim.Time
+		Row           Figure11SchemeRow
+		Worst, Normal sim.Time
 	}
 	outs, err := mapCells(o, cells, func(c harness.Cell) launchOut {
 		if c.Scenario == "worst-case-hot" {
 			worst, normal := workload.WorstCaseHotLaunch(device.P20, c.Seed, apps)
-			return launchOut{worst: worst, normal: normal}
+			return launchOut{Worst: worst, Normal: normal}
 		}
 		sch, err := policy.ByName(c.Scheme)
 		if err != nil {
@@ -72,7 +74,7 @@ func Figure11(o Options) (Figure11Result, error) {
 			Apps:   apps,
 			Seed:   c.Seed,
 		})
-		return launchOut{row: Figure11SchemeRow{
+		return launchOut{Row: Figure11SchemeRow{
 			Scheme:      c.Scheme,
 			MeanAll:     ll.MeanAll(),
 			MeanCold:    ll.MeanCold(),
@@ -88,10 +90,10 @@ func Figure11(o Options) (Figure11Result, error) {
 	}
 	res := Figure11Result{Rounds: rounds}
 	for _, out := range outs[:len(schemes)] {
-		res.Rows = append(res.Rows, out.row)
+		res.Rows = append(res.Rows, out.Row)
 	}
-	res.WorstCaseHot = outs[len(schemes)].worst
-	res.NormalHot = outs[len(schemes)].normal
+	res.WorstCaseHot = outs[len(schemes)].Worst
+	res.NormalHot = outs[len(schemes)].Normal
 	return res, nil
 }
 

@@ -40,17 +40,22 @@ func Figure3(o Options) (Figure3Result, error) {
 	for i, cfg := range cfgs {
 		cells[i] = harness.Cell{Device: cfg.Device.Name, Variant: userName(i)}
 	}
+	// Cell results cross process boundaries as JSON when the daemon
+	// shards a matrix (harness.ExecHooks), so userOut carries exported
+	// fields and only the timeline slices the reduction reads.
 	type userOut struct {
-		row      Figure3UserRow
-		timeline workload.UserResult
+		Row          Figure3UserRow
+		CumEvicted   []uint64
+		CumRefaulted []uint64
 	}
 	outs, err := mapCells(o, cells, func(c harness.Cell) userOut {
 		cfg := cfgs[c.Index]
 		cfg.SessionsPerDay = sessions
 		ur := workload.RunUser(cfg)
 		return userOut{
-			timeline: ur,
-			row: Figure3UserRow{
+			CumEvicted:   ur.CumEvicted,
+			CumRefaulted: ur.CumRefaulted,
+			Row: Figure3UserRow{
 				User:          c.Variant,
 				Device:        cfg.Device.Name,
 				EvictedPerDay: float64(realPages(ur.TotalEvicted())) / float64(days),
@@ -65,10 +70,10 @@ func Figure3(o Options) (Figure3Result, error) {
 	}
 	res := Figure3Result{Users: make([]Figure3UserRow, len(outs))}
 	for i, out := range outs {
-		res.Users[i] = out.row
+		res.Users[i] = out.Row
 	}
-	res.TimelineEvicted = outs[0].timeline.CumEvicted
-	res.TimelineRefaulted = outs[0].timeline.CumRefaulted
+	res.TimelineEvicted = outs[0].CumEvicted
+	res.TimelineRefaulted = outs[0].CumRefaulted
 	return res, nil
 }
 

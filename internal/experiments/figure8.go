@@ -66,7 +66,8 @@ func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios 
 	for _, d := range devices {
 		profiles[d.Name] = d
 	}
-	runs, err := mapCells(o, matrixSpec(o, devices, schemes, scenarios).Cells(),
+	matrix := matrixSpec(o, devices, schemes, scenarios).Cells()
+	runs, err := mapCells(o, matrix,
 		func(c harness.Cell) workload.ScenarioResult {
 			sch, err := policy.ByName(c.Scheme)
 			if err != nil {
@@ -102,11 +103,14 @@ func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios 
 			refaultBG.Add(res.Mem.RefaultBG)
 			ioPages.Add(res.IO.TotalPages())
 		}
-		cfg := runs[g].Config
+		// Label from the matrix coordinates, not the result: results can
+		// arrive over the wire without their Config (ScenarioResult does
+		// not marshal it).
+		coord := matrix[g]
 		cells = append(cells, Figure8Cell{
-			Device:     cfg.Device.Name,
-			Scenario:   cfg.Scenario,
-			Scheme:     cfg.Scheme.Name(),
+			Device:     coord.Device,
+			Scenario:   coord.Scenario,
+			Scheme:     coord.Scheme,
 			FPS:        fps.Mean(),
 			RIA:        ria.Mean(),
 			CPUUtil:    util.Mean(),

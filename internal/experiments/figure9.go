@@ -72,7 +72,9 @@ func figure9Matrix(o Options) []harness.Cell {
 // LRU+CFS and Ice, averaging FPS/RIA across the four scenarios.
 func Figure9(o Options) (Figure9Result, error) {
 	o = o.withDefaults()
-	type sample struct{ fps, ria float64 }
+	// Exported fields: cell results cross process boundaries as JSON
+	// when the daemon shards a matrix (harness.ExecHooks).
+	type sample struct{ FPS, RIA float64 }
 	cells := figure9Matrix(o)
 	runs, err := mapCells(o, cells, func(c harness.Cell) sample {
 		var numBG int
@@ -95,7 +97,7 @@ func Figure9(o Options) (Figure9Result, error) {
 			Duration: o.Duration,
 			Seed:     c.Seed,
 		})
-		return sample{fps: res.Frames.AvgFPS(), ria: res.Frames.RIA()}
+		return sample{FPS: res.Frames.AvgFPS(), RIA: res.Frames.RIA()}
 	})
 	if err != nil {
 		return Figure9Result{}, err
@@ -109,8 +111,8 @@ func Figure9(o Options) (Figure9Result, error) {
 	for g := 0; g < len(runs); g += group {
 		var fps, ria harness.Agg
 		for _, s := range runs[g : g+group] {
-			fps.Add(s.fps)
-			ria.Add(s.ria)
+			fps.Add(s.FPS)
+			ria.Add(s.RIA)
 		}
 		c := cells[g]
 		var numBG int

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/eurosys23/ice/internal/harness"
+)
+
+// runRange re-runs a runner restricted to the cells of r and returns
+// the sink payloads in index order — what a worker daemon does for
+// POST /internal/cells, minus the HTTP transport.
+func runRange(run Runner, o Options, r harness.Range) ([][]byte, error) {
+	collected := make([][]byte, r.Len())
+	o.Hooks = harness.ExecHooks{
+		Range: harness.Cells(r.From, r.To),
+		Sink: func(i int, b []byte) {
+			if i >= r.From && i < r.To {
+				collected[i-r.From] = append([]byte(nil), b...)
+			}
+		},
+	}
+	if _, _, err := run.Run(o); err != nil && !errors.Is(err, harness.ErrRangePartial) {
+		return nil, err
+	}
+	for k, b := range collected {
+		if b == nil {
+			return nil, fmt.Errorf("cell %d produced no payload", r.From+k)
+		}
+	}
+	return collected, nil
+}
+
+// TestRunnersShardLoopback proves every registered runner's cell type
+// survives the sharding wire: a sharded run whose chunks are computed
+// by loopback range-restricted re-runs (the path a remote worker
+// executes, minus HTTP) must render and marshal byte-identically to
+// the plain local run. A runner whose per-cell result loses data
+// through JSON — unexported fields, non-nil interfaces — fails here.
+func TestRunnersShardLoopback(t *testing.T) {
+	for _, run := range Registry() {
+		run := run
+		t.Run(run.ID, func(t *testing.T) {
+			t.Parallel()
+			base := Options{Fast: true, Workers: 2}
+			render1, data1, err := run.Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text1 := render1()
+			json1, err := json.Marshal(data1)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sharded := base
+			sharded.Hooks.Shard = func(total int) []harness.RemoteChunk {
+				var chunks []harness.RemoteChunk
+				for _, r := range harness.Partition(total, 3)[1:] {
+					r := r
+					chunks = append(chunks, harness.RemoteChunk{
+						Range: r,
+						Exec: func(context.Context) ([][]byte, error) {
+							return runRange(run, base, r)
+						},
+					})
+				}
+				return chunks
+			}
+			render2, data2, err := run.Run(sharded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			json2, err := json.Marshal(data2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(json1) != string(json2) {
+				t.Errorf("sharded run marshals differently\nlocal:   %.300s\nsharded: %.300s", json1, json2)
+			}
+			if text2 := render2(); text1 != text2 {
+				t.Errorf("sharded run renders differently\nlocal:\n%s\nsharded:\n%s", text1, text2)
+			}
+		})
+	}
+}

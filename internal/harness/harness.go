@@ -25,6 +25,7 @@ package harness
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -92,6 +93,108 @@ func DeriveSeed(base int64, c Cell) int64 {
 	return seed
 }
 
+// Range is a half-open interval [From, To) of stamped cell indices.
+// The zero Range is empty.
+type Range struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Len reports how many indices the range covers.
+func (r Range) Len() int {
+	if r.To <= r.From {
+		return 0
+	}
+	return r.To - r.From
+}
+
+// Cells returns the Range [from, to) for Config.Range: "execute only
+// these cells of the matrix". Worker nodes use it to run a
+// coordinator-assigned chunk.
+func Cells(from, to int) *Range {
+	return &Range{From: from, To: to}
+}
+
+// Partition splits the index space [0, n) into at most parts
+// contiguous, near-even, non-empty ranges in ascending order. Earlier
+// ranges are at most one cell larger than later ones; the union covers
+// every index exactly once. n <= 0 yields nil; parts is clamped to
+// [1, n].
+func Partition(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	base, rem := n/parts, n%parts
+	out := make([]Range, 0, parts)
+	from := 0
+	for p := 0; p < parts; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		out = append(out, Range{From: from, To: from + size})
+		from += size
+	}
+	return out
+}
+
+// RemoteChunk is a contiguous cell range a shard planner wants executed
+// elsewhere. Exec must return one JSON-marshalled result per index of
+// the range, in index order — the bytes a worker's Sink emitted for
+// those cells. If Exec errors, returns the wrong count, or returns
+// payloads that do not unmarshal, the harness re-runs the chunk's
+// cells locally; cells are deterministic in their seeds, so the
+// fallback results are identical to what the remote would have
+// produced.
+type RemoteChunk struct {
+	Range
+	Exec func(ctx context.Context) ([][]byte, error)
+}
+
+// ShardPlanner maps a matrix size onto the chunks to execute remotely;
+// indices not covered by any returned chunk run locally. It is
+// consulted once per run, after cells are stamped. Returning nil keeps
+// the whole matrix local. Chunks that are out of bounds, empty, or
+// overlap an earlier chunk are ignored (their cells run locally).
+type ShardPlanner func(total int) []RemoteChunk
+
+// ErrRangePartial marks a run whose Config.Range excluded part of the
+// matrix: the in-range cells completed, out-of-range result slots are
+// zero, and any reduction over the full matrix would be wrong. Callers
+// executing a range on purpose (worker nodes) detect it with
+// errors.Is and consume the per-cell Sink output instead of the
+// reduced result.
+var ErrRangePartial = errors.New("harness: range-restricted run, results incomplete")
+
+// ExecHooks carries the distributed-execution hooks through layers
+// that do not care about them (experiment options, the service job
+// path). The zero value means plain local execution.
+type ExecHooks struct {
+	// Range, when non-nil, restricts execution to the stamped cell
+	// indices in [Range.From, Range.To); every other result slot stays
+	// zero and the run error wraps ErrRangePartial (unless the range
+	// covers the whole matrix). Worker nodes run coordinator-assigned
+	// chunks this way. Mutually exclusive with Shard (Range wins).
+	Range *Range
+	// Sink, when non-nil, receives each completed cell's result
+	// marshalled as JSON, keyed by matrix index. Calls are serialised
+	// by the harness. A cell whose result does not marshal yields a
+	// *CellError. This is how a worker captures per-cell payloads
+	// without knowing the runner's concrete result type.
+	Sink func(index int, result []byte)
+	// Shard, when non-nil, lets a coordinator push contiguous cell
+	// ranges to remote executors; see ShardPlanner. Failed chunks fall
+	// back to local execution, so the merged matrix is byte-identical
+	// to a fully local run at any plan.
+	Shard ShardPlanner
+}
+
 // Config tunes one harness run.
 type Config struct {
 	// BaseSeed feeds DeriveSeed for every cell.
@@ -112,6 +215,10 @@ type Config struct {
 	// exhausted abandons without having claimed anything and the
 	// completed cells still form a matrix prefix.
 	Slots chan struct{}
+
+	// ExecHooks (Range/Sink/Shard) distribute a run across processes;
+	// the zero value keeps execution fully local.
+	ExecHooks
 }
 
 // Progress reports harness advancement after each completed cell.
@@ -189,6 +296,15 @@ func Map[T any](cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
 // any per-cell errors with ctx.Err(). Callers distinguish "cancelled"
 // from "cells panicked" with errors.Is(err, context.Canceled) (or
 // DeadlineExceeded) and Errs.
+//
+// The ExecHooks in cfg distribute a run across processes. With Range
+// set, only the in-range cells execute and the error wraps
+// ErrRangePartial when cells were excluded. With Shard set, planned
+// chunks are fetched from remote executors concurrently with the local
+// pool; a chunk whose remote fails is re-run locally, so the merged
+// matrix is byte-identical to a fully local run regardless of the
+// plan. The completed-prefix cancellation guarantee above applies to
+// the plain (hook-free) configuration.
 func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Cell) T) ([]T, error) {
 	stamped := make([]Cell, len(cells))
 	for i := range cells {
@@ -197,24 +313,164 @@ func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Ce
 		c.Seed = DeriveSeed(cfg.BaseSeed, c)
 		stamped[i] = c
 	}
+	n := len(stamped)
+	out := make([]T, n)
+	tr := &tracker{total: n, start: time.Now(), progress: cfg.Progress, sink: cfg.Sink}
 
+	local, chunks, partial := plan(cfg, n)
+
+	var dispatchers sync.WaitGroup
+	for _, ch := range chunks {
+		ch := ch
+		dispatchers.Add(1)
+		go func() {
+			defer dispatchers.Done()
+			if injectChunk(ctx, ch, stamped, out, tr) {
+				return
+			}
+			// The remote executor failed (or returned garbage). Cells
+			// are deterministic in their seeds, so re-running the chunk
+			// here yields exactly the bytes the remote would have
+			// produced.
+			idx := make([]int, 0, ch.Len())
+			for i := ch.From; i < ch.To; i++ {
+				idx = append(idx, i)
+			}
+			runPool(ctx, cfg, stamped, idx, out, tr, fn)
+		}()
+	}
+	runPool(ctx, cfg, stamped, local, out, tr, fn)
+	dispatchers.Wait()
+
+	cellErrs := tr.cellErrs
+	if len(cellErrs) == 0 && ctx.Err() == nil && !partial {
+		return out, nil
+	}
+	sort.Slice(cellErrs, func(i, j int) bool { return cellErrs[i].Cell.Index < cellErrs[j].Cell.Index })
+	errs := make([]error, 0, len(cellErrs)+2)
+	for _, ce := range cellErrs {
+		errs = append(errs, ce)
+	}
+	if partial {
+		errs = append(errs, ErrRangePartial)
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		errs = append(errs, ctxErr)
+	}
+	return out, errors.Join(errs...)
+}
+
+// plan picks the locally executed indices and the validated remote
+// chunks for one run. partial reports that cfg.Range excluded part of
+// the matrix.
+func plan(cfg Config, n int) (local []int, chunks []RemoteChunk, partial bool) {
+	switch {
+	case cfg.Range != nil:
+		from, to := cfg.Range.From, cfg.Range.To
+		if from < 0 {
+			from = 0
+		}
+		if to > n {
+			to = n
+		}
+		for i := from; i < to; i++ {
+			local = append(local, i)
+		}
+		return local, nil, len(local) < n
+	case cfg.Shard != nil:
+		covered := make([]bool, n)
+		for _, ch := range cfg.Shard(n) {
+			if ch.Exec == nil || ch.From < 0 || ch.To > n || ch.From >= ch.To {
+				continue
+			}
+			overlaps := false
+			for i := ch.From; i < ch.To; i++ {
+				if covered[i] {
+					overlaps = true
+					break
+				}
+			}
+			if overlaps {
+				continue
+			}
+			for i := ch.From; i < ch.To; i++ {
+				covered[i] = true
+			}
+			chunks = append(chunks, ch)
+		}
+		for i := 0; i < n; i++ {
+			if !covered[i] {
+				local = append(local, i)
+			}
+		}
+		return local, chunks, false
+	default:
+		local = make([]int, n)
+		for i := range local {
+			local[i] = i
+		}
+		return local, nil, false
+	}
+}
+
+// tracker is the shared completion state of one MapContext run. Local
+// pools and remote-chunk injections all report through it, so progress
+// counts and Sink calls stay serialised no matter where a cell was
+// computed.
+type tracker struct {
+	total    int
+	start    time.Time
+	progress func(Progress)
+	sink     func(int, []byte)
+
+	mu       sync.Mutex
+	done     int
+	cellErrs []*CellError
+}
+
+// complete records one finished cell; sunk is its marshalled result
+// for the Sink (nil when no sink is configured or the cell errored).
+func (tr *tracker) complete(c Cell, cellTime time.Duration, cerr *CellError, sunk []byte) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.done++
+	if cerr != nil {
+		tr.cellErrs = append(tr.cellErrs, cerr)
+	}
+	if tr.sink != nil && cerr == nil && sunk != nil {
+		tr.sink(c.Index, sunk)
+	}
+	if tr.progress != nil {
+		p := Progress{
+			Completed: tr.done,
+			Total:     tr.total,
+			Elapsed:   time.Since(tr.start),
+			Cell:      c,
+			CellTime:  cellTime,
+			Failed:    len(tr.cellErrs),
+		}
+		if tr.done > 0 {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(tr.done) * float64(p.Total-tr.done))
+		}
+		tr.progress(p)
+	}
+}
+
+// runPool executes the given stamped-cell indices on a bounded worker
+// pool, claiming indices in slice order.
+func runPool[T any](ctx context.Context, cfg Config, stamped []Cell, indices []int, out []T, tr *tracker, fn func(Cell) T) {
+	if len(indices) == 0 {
+		return
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(stamped) {
-		workers = len(stamped)
+	if workers > len(indices) {
+		workers = len(indices)
 	}
-
-	out := make([]T, len(stamped))
-	var (
-		next     atomic.Int64
-		mu       sync.Mutex // guards cellErrs, completed, Progress calls
-		cellErrs []*CellError
-		done     int
-		start    = time.Now()
-		wg       sync.WaitGroup
-	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -238,58 +494,56 @@ func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Ce
 						return // abandoned: budget exhausted and run cancelled
 					}
 				}
-				i := int(next.Add(1)) - 1
-				if i >= len(stamped) {
+				k := int(next.Add(1)) - 1
+				if k >= len(indices) {
 					if cfg.Slots != nil {
 						<-cfg.Slots
 					}
 					return
 				}
-				c := stamped[i]
+				c := stamped[indices[k]]
 				cellStart := time.Now()
-				cerr := runCell(c, &out[i], fn)
+				cerr := runCell(c, &out[c.Index], fn)
+				var sunk []byte
+				if cerr == nil && tr.sink != nil {
+					b, merr := json.Marshal(out[c.Index])
+					if merr != nil {
+						cerr = &CellError{Cell: c, Panic: fmt.Sprintf("marshal result for sink: %v", merr)}
+					}
+					sunk = b
+				}
 				cellTime := time.Since(cellStart)
 				if cfg.Slots != nil {
 					<-cfg.Slots
 				}
-
-				mu.Lock()
-				done++
-				if cerr != nil {
-					cellErrs = append(cellErrs, cerr)
-				}
-				if cfg.Progress != nil {
-					p := Progress{
-						Completed: done,
-						Total:     len(stamped),
-						Elapsed:   time.Since(start),
-						Cell:      c,
-						CellTime:  cellTime,
-						Failed:    len(cellErrs),
-					}
-					if done > 0 {
-						p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(p.Total-done))
-					}
-					cfg.Progress(p)
-				}
-				mu.Unlock()
+				tr.complete(c, cellTime, cerr, sunk)
 			}
 		}()
 	}
 	wg.Wait()
+}
 
-	if len(cellErrs) == 0 && ctx.Err() == nil {
-		return out, nil
+// injectChunk runs a remote chunk's Exec and, on success, copies the
+// unmarshalled results into the output slice. It reports false — and
+// writes nothing — when the remote failed in any way, leaving the
+// chunk to the local fallback pool.
+func injectChunk[T any](ctx context.Context, ch RemoteChunk, stamped []Cell, out []T, tr *tracker) bool {
+	payloads, err := ch.Exec(ctx)
+	if err != nil || len(payloads) != ch.Len() {
+		return false
 	}
-	sort.Slice(cellErrs, func(i, j int) bool { return cellErrs[i].Cell.Index < cellErrs[j].Cell.Index })
-	errs := make([]error, 0, len(cellErrs)+1)
-	for _, ce := range cellErrs {
-		errs = append(errs, ce)
+	vals := make([]T, len(payloads))
+	for k, p := range payloads {
+		if json.Unmarshal(p, &vals[k]) != nil {
+			return false
+		}
 	}
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		errs = append(errs, ctxErr)
+	for k := range vals {
+		i := ch.From + k
+		out[i] = vals[k]
+		tr.complete(stamped[i], 0, nil, payloads[k])
 	}
-	return out, errors.Join(errs...)
+	return true
 }
 
 // runCell runs fn for one cell, converting a panic into a *CellError.

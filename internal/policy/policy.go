@@ -8,6 +8,7 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/eurosys23/ice/internal/android"
 	"github.com/eurosys23/ice/internal/core"
@@ -217,7 +218,15 @@ func (p *PowerManager) freezeCycle() {
 
 func (p *PowerManager) thawCycle() {
 	p.inFreeze = false
+	// Thaw in UID order, not map order: the same-instant thaw spans must
+	// land in the trace in a reproducible order for a seed's trace bytes
+	// to be identical across runs.
+	uids := make([]int, 0, len(p.frozen))
 	for uid := range p.frozen {
+		uids = append(uids, uid)
+	}
+	sort.Ints(uids)
+	for _, uid := range uids {
 		p.sys.ThawApp(uid)
 		delete(p.frozen, uid)
 	}

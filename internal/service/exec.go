@@ -50,18 +50,21 @@ type ExperimentResult struct {
 // execute runs a normalised job spec to completion (or cancellation),
 // returning the marshalled result payload and, for traced runs, the
 // Perfetto trace-event JSON. slots is the daemon's global cell budget;
-// progress receives the harness callback stream.
-func execute(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress)) (result, traceJSON []byte, err error) {
+// progress receives the harness callback stream. hooks distributes the
+// matrix across nodes (see harness.ExecHooks): a coordinator passes a
+// shard planner, a worker a cell range + sink, a single node the zero
+// value.
+func execute(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress), hooks harness.ExecHooks) (result, traceJSON []byte, err error) {
 	switch spec.Kind {
 	case KindRun:
-		return executeRun(ctx, spec, slots, progress)
+		return executeRun(ctx, spec, slots, progress, hooks)
 	case KindExperiment:
-		return executeExperiment(ctx, spec, slots, progress)
+		return executeExperiment(ctx, spec, slots, progress, hooks)
 	}
 	return nil, nil, fmt.Errorf("unknown job kind %q", spec.Kind) // unreachable after normalize
 }
 
-func executeRun(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress)) (result, traceJSON []byte, err error) {
+func executeRun(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress), hooks harness.ExecHooks) (result, traceJSON []byte, err error) {
 	profile, _ := device.ByName(spec.Device) // validated by normalize
 	profile.ZramCodec = spec.ZramCodec
 	bc, _ := parseBGCase(spec.BGCase)
@@ -74,7 +77,7 @@ func executeRun(ctx context.Context, spec JobSpec, slots chan struct{}, progress
 		}
 	}
 	runs, err := harness.MapContext(ctx,
-		harness.Config{BaseSeed: spec.Seed, Workers: spec.Workers, Progress: progress, Slots: slots},
+		harness.Config{BaseSeed: spec.Seed, Workers: spec.Workers, Progress: progress, Slots: slots, ExecHooks: hooks},
 		cells,
 		func(c harness.Cell) workload.ScenarioResult {
 			sch, perr := policy.ByName(c.Scheme)
@@ -100,6 +103,9 @@ func executeRun(ctx context.Context, spec JobSpec, slots chan struct{}, progress
 		return nil, nil, err
 	}
 
+	// The reduction reads res.Trace only at round 0, which a sharding
+	// coordinator always keeps local (trace buffers cannot cross the
+	// JSON wire); every other field below survives the round trip.
 	out := RunResult{Spec: spec, Cells: make([]RunCell, 0, len(runs))}
 	var fps, ria harness.Agg
 	for r, res := range runs {
@@ -140,7 +146,7 @@ func executeRun(ctx context.Context, spec JobSpec, slots chan struct{}, progress
 	return result, traceJSON, err
 }
 
-func executeExperiment(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress)) (result, traceJSON []byte, err error) {
+func executeExperiment(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress), hooks harness.ExecHooks) (result, traceJSON []byte, err error) {
 	runner, _ := experiments.ByID(spec.Experiment) // validated by normalize
 	opts := experiments.Options{
 		Fast:     spec.Fast,
@@ -150,6 +156,7 @@ func executeExperiment(ctx context.Context, spec JobSpec, slots chan struct{}, p
 		Ctx:      ctx,
 		Slots:    slots,
 		Progress: progress,
+		Hooks:    hooks,
 	}
 	if spec.DurationSec > 0 {
 		opts.Duration = sim.Time(spec.DurationSec) * sim.Second

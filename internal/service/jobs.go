@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
@@ -66,6 +67,21 @@ type Config struct {
 	// pruned; their payloads stay reachable through the result cache
 	// and disk store by resubmitting the spec.
 	RetainTerminalJobs int
+	// Peers lists other icesimd daemons ("host:port") this node may
+	// dispatch cell ranges to, making it a shard coordinator (see
+	// shard.go). Empty keeps execution single-node.
+	Peers []string
+	// WorkerEndpoint enables POST /internal/cells, letting a
+	// coordinator assign this node cell ranges (icesimd -role worker).
+	WorkerEndpoint bool
+	// ShardChunkTimeout bounds one remote chunk dispatch attempt
+	// (<=0: 5 minutes). On expiry the chunk retries elsewhere or runs
+	// locally.
+	ShardChunkTimeout time.Duration
+	// ShardRetries is how many additional healthy peers a failed chunk
+	// dispatch tries before local fallback (0: default 1; negative:
+	// no retries).
+	ShardRetries int
 }
 
 // StreamEvent is one NDJSON/SSE progress line. Terminal events carry
@@ -128,6 +144,8 @@ type Manager struct {
 	cfg      Config
 	slots    chan struct{} // global cell budget
 	jobSlots chan struct{} // running-jobs cap
+	peers    []*peer       // configured shard workers (see shard.go)
+	httpc    *http.Client  // shard dispatch + health probes
 
 	mu     sync.Mutex
 	closed bool
@@ -167,6 +185,16 @@ type Manager struct {
 	bootCtr       *obs.Counter
 	diskBytes     *obs.Gauge
 	diskEntries   *obs.Gauge
+	// Shard instruments: the coordinator set is registered only with
+	// Peers configured, the served set only with WorkerEndpoint; both
+	// stay nil (and nil-safe) otherwise.
+	shardDispatchCtr    *obs.Counter
+	shardRemoteCtr      *obs.Counter
+	shardRetryCtr       *obs.Counter
+	shardPeerFailCtr    *obs.Counter
+	shardFallbackCtr    *obs.Counter
+	shardServedCtr      *obs.Counter
+	shardServedCellsCtr *obs.Counter
 }
 
 // NewManager builds a Manager with its own instrument registry. It
@@ -195,6 +223,15 @@ func OpenManager(cfg Config) (*Manager, error) {
 	if cfg.RetainTerminalJobs <= 0 {
 		cfg.RetainTerminalJobs = 256
 	}
+	if cfg.ShardChunkTimeout <= 0 {
+		cfg.ShardChunkTimeout = 5 * time.Minute
+	}
+	switch {
+	case cfg.ShardRetries == 0:
+		cfg.ShardRetries = 1
+	case cfg.ShardRetries < 0:
+		cfg.ShardRetries = 0
+	}
 	reg := obs.NewRegistry()
 	m := &Manager{
 		cfg:             cfg,
@@ -215,6 +252,25 @@ func OpenManager(cfg Config) (*Manager, error) {
 		runningGauge:    reg.Gauge("service.jobs.running"),
 		queuedGauge:     reg.Gauge("service.jobs.queued"),
 		retainedGauge:   reg.Gauge("service.jobs.retained"),
+	}
+	if len(cfg.Peers) > 0 {
+		m.httpc = &http.Client{}
+		m.shardDispatchCtr = reg.Counter("service.shard.dispatched")
+		m.shardRemoteCtr = reg.Counter("service.shard.remote_cells")
+		m.shardRetryCtr = reg.Counter("service.shard.retries")
+		m.shardPeerFailCtr = reg.Counter("service.shard.peer_failures")
+		m.shardFallbackCtr = reg.Counter("service.shard.fallback_local")
+		for _, addr := range cfg.Peers {
+			m.peers = append(m.peers, &peer{
+				addr:     addr,
+				inflight: reg.Gauge("service.shard.peer_inflight." + addr),
+				healthyG: reg.Gauge("service.shard.peer_healthy." + addr),
+			})
+		}
+	}
+	if cfg.WorkerEndpoint {
+		m.shardServedCtr = reg.Counter("service.shard.served")
+		m.shardServedCellsCtr = reg.Counter("service.shard.served_cells")
 	}
 	if cfg.StateDir != "" {
 		store, boot, err := openDiskStore(cfg.StateDir, cfg.CacheBytes, codeVersion())
@@ -359,9 +415,14 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	}
 	m.mu.Unlock()
 
+	// With peers configured this node coordinates: the planner pushes
+	// contiguous chunks of the matrix to healthy workers and the
+	// harness merges their payloads in matrix order, so the result is
+	// byte-identical to a single-node run (failed chunks re-run here).
+	hooks := harness.ExecHooks{Shard: m.shardPlanner(j.spec)}
 	result, traceJSON, err := execute(ctx, j.spec, m.slots, func(p harness.Progress) {
 		m.publish(j, p)
-	})
+	}, hooks)
 	m.finish(j, result, traceJSON, err)
 }
 

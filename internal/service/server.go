@@ -23,6 +23,8 @@ import (
 //	                        client sends Accept: text/event-stream
 //	GET  /jobs/{id}/result  terminal job's result payload (JSON)
 //	GET  /jobs/{id}/trace   terminal job's Perfetto trace-event JSON
+//	POST /internal/cells    execute a cell range for a coordinator
+//	                        (worker nodes only; see shard.go)
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -136,6 +138,46 @@ func NewServer(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", "attachment; filename=\"icesim-trace.json\"")
 		w.Write(payload)
+	})
+
+	// Worker half of the sharding protocol (see shard.go): execute a
+	// coordinator-assigned cell range. Gated on Config.WorkerEndpoint
+	// so a plain node never runs foreign cell ranges by accident.
+	mux.HandleFunc("POST "+internalCellsPath, func(w http.ResponseWriter, r *http.Request) {
+		if !m.cfg.WorkerEndpoint {
+			writeErr(w, http.StatusForbidden, errors.New("not a worker node (start icesimd with -role worker)"))
+			return
+		}
+		var req shardRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid shard request: %w", err))
+			return
+		}
+		if req.Version != codeVersion() {
+			writeErr(w, http.StatusConflict,
+				fmt.Errorf("version mismatch: coordinator %q, worker %q", req.Version, codeVersion()))
+			return
+		}
+		cells, err := m.ExecCellRange(r.Context(), req.Spec, req.From, req.To)
+		if err != nil {
+			var bad *BadSpecError
+			switch {
+			case errors.As(err, &bad):
+				writeErr(w, http.StatusBadRequest, err)
+			case errors.Is(err, ErrDraining):
+				writeErr(w, http.StatusServiceUnavailable, err)
+			default:
+				writeErr(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		resp := shardResponse{Cells: make([]json.RawMessage, len(cells))}
+		for i, c := range cells {
+			resp.Cells[i] = json.RawMessage(c)
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,304 @@
+package service
+
+// shard.go distributes a job's cell matrix across icesimd nodes. A
+// coordinator (Config.Peers non-empty) partitions the stamped index
+// space [0, n) into contiguous chunks — one per healthy peer plus
+// itself — and dispatches each remote chunk as POST /internal/cells; a
+// worker (Config.WorkerEndpoint) executes the range through the same
+// execute() path under a harness cell-range restriction and returns
+// one JSON payload per cell. Cells derive their seeds from the spec
+// alone, so a chunk computes the identical bytes on any node; the
+// harness merges payloads back in matrix order, which keeps the final
+// result/trace payloads — and therefore the cache keys and stored
+// entries — byte-identical to a single-node run. Any dispatch failure
+// (peer down, timeout, version skew, garbage payload) falls back to
+// local execution of that chunk, trading wall-clock for the same
+// bytes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/eurosys23/ice/internal/harness"
+	"github.com/eurosys23/ice/internal/obs"
+)
+
+// internalCellsPath is the worker-side cell-range execution endpoint.
+const internalCellsPath = "/internal/cells"
+
+// shardRequest asks a worker to execute stamped cells [From, To) of
+// the spec's matrix. Version pins the coordinator's build: merged
+// payloads must all come from identical code, so a worker on a
+// different version refuses (HTTP 409) and the chunk runs locally.
+type shardRequest struct {
+	Spec    JobSpec `json:"spec"`
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	Version string  `json:"version"`
+}
+
+// shardResponse carries one JSON payload per cell of the requested
+// range, in index order.
+type shardResponse struct {
+	Cells []json.RawMessage `json:"cells"`
+}
+
+// peer is one configured remote worker. healthy is guarded by
+// Manager.mu; ProbePeers raises it, probe and dispatch failures clear
+// it.
+type peer struct {
+	addr     string
+	healthy  bool
+	inflight *obs.Gauge
+	healthyG *obs.Gauge
+}
+
+// ProbePeers checks every configured peer's /healthz once and updates
+// the health state, returning the healthy count. cmd/icesimd runs it
+// periodically via PeerHealthLoop.
+func (m *Manager) ProbePeers(ctx context.Context) int {
+	healthy := 0
+	for _, p := range m.peers {
+		ok := m.probePeer(ctx, p)
+		m.mu.Lock()
+		p.healthy = ok
+		if ok {
+			p.healthyG.Set(1)
+			healthy++
+		} else {
+			p.healthyG.Set(0)
+		}
+		m.mu.Unlock()
+	}
+	return healthy
+}
+
+func (m *Manager) probePeer(ctx context.Context, p *peer) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+p.addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.httpc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// PeerHealthLoop probes immediately, then every interval, until ctx is
+// cancelled. A peer marked unhealthy by a failed dispatch re-enters
+// rotation at its next successful probe.
+func (m *Manager) PeerHealthLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		m.ProbePeers(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// healthyPeers snapshots the peers currently in rotation.
+func (m *Manager) healthyPeers() []*peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*peer
+	for _, p := range m.peers {
+		if p.healthy {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// nextHealthyPeer picks a healthy peer other than last, or nil when
+// none remains.
+func (m *Manager) nextHealthyPeer(last *peer) *peer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		if p.healthy && p != last {
+			return p
+		}
+	}
+	return nil
+}
+
+// shardPlanner returns the harness ShardPlanner for one job, or nil
+// when this node has no peers. Chunk 0 always stays on the
+// coordinator: it holds cell 0, the only cell that can record a trace,
+// and trace buffers cannot cross the JSON wire.
+func (m *Manager) shardPlanner(spec JobSpec) harness.ShardPlanner {
+	if len(m.peers) == 0 {
+		return nil
+	}
+	return func(total int) []harness.RemoteChunk {
+		peers := m.healthyPeers()
+		if len(peers) == 0 || total < 2 {
+			return nil
+		}
+		ranges := harness.Partition(total, len(peers)+1)
+		if len(ranges) < 2 {
+			return nil
+		}
+		chunks := make([]harness.RemoteChunk, 0, len(ranges)-1)
+		for i, r := range ranges[1:] {
+			p := peers[i%len(peers)]
+			r := r
+			chunks = append(chunks, harness.RemoteChunk{
+				Range: r,
+				Exec: func(ctx context.Context) ([][]byte, error) {
+					return m.dispatchChunk(ctx, p, spec, r)
+				},
+			})
+		}
+		return chunks
+	}
+}
+
+// dispatchChunk posts one cell range to a worker, retrying on other
+// healthy peers up to Config.ShardRetries times. A failed target is
+// pulled from rotation until the health loop re-admits it. Any
+// returned error sends the chunk to the harness's local fallback pool.
+func (m *Manager) dispatchChunk(ctx context.Context, first *peer, spec JobSpec, r harness.Range) ([][]byte, error) {
+	m.mu.Lock()
+	m.shardDispatchCtr.Inc()
+	retries := m.cfg.ShardRetries
+	m.mu.Unlock()
+
+	target := first
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			target = m.nextHealthyPeer(target)
+			if target == nil {
+				break
+			}
+			m.mu.Lock()
+			m.shardRetryCtr.Inc()
+			m.mu.Unlock()
+		}
+		cells, err := m.postCells(ctx, target, spec, r)
+		if err == nil {
+			m.mu.Lock()
+			m.shardRemoteCtr.Add(uint64(len(cells)))
+			m.mu.Unlock()
+			return cells, nil
+		}
+		lastErr = err
+		m.mu.Lock()
+		m.shardPeerFailCtr.Inc()
+		target.healthy = false
+		target.healthyG.Set(0)
+		m.mu.Unlock()
+		if ctx.Err() != nil {
+			break // the job itself is done for; no point retrying
+		}
+	}
+	m.mu.Lock()
+	m.shardFallbackCtr.Inc()
+	m.mu.Unlock()
+	if lastErr == nil {
+		lastErr = errors.New("no healthy peer")
+	}
+	return nil, fmt.Errorf("chunk [%d,%d): %w", r.From, r.To, lastErr)
+}
+
+// postCells performs one dispatch attempt under the per-chunk timeout.
+func (m *Manager) postCells(ctx context.Context, p *peer, spec JobSpec, r harness.Range) ([][]byte, error) {
+	body, err := json.Marshal(shardRequest{Spec: spec, From: r.From, To: r.To, Version: codeVersion()})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, m.cfg.ShardChunkTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+p.addr+internalCellsPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	m.mu.Lock()
+	p.inflight.Add(1)
+	m.mu.Unlock()
+	resp, err := m.httpc.Do(req)
+	m.mu.Lock()
+	p.inflight.Add(-1)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", p.addr, resp.Status, bytes.TrimSpace(msg))
+	}
+	var sr shardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("%s: decode response: %w", p.addr, err)
+	}
+	out := make([][]byte, len(sr.Cells))
+	for i, c := range sr.Cells {
+		out[i] = []byte(c)
+	}
+	return out, nil
+}
+
+// ExecCellRange executes stamped cells [from, to) of the spec's matrix
+// locally and returns each cell's result as JSON, in index order — the
+// worker half of the sharding protocol. Cell seeds derive from the
+// spec alone, so these are exactly the bytes the coordinator's own
+// pool would have computed for the same indices.
+func (m *Manager) ExecCellRange(ctx context.Context, spec JobSpec, from, to int) ([][]byte, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, &BadSpecError{Err: err}
+	}
+	if from < 0 || to <= from {
+		return nil, &BadSpecError{Err: fmt.Errorf("bad cell range [%d,%d)", from, to)}
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.shardServedCtr.Inc()
+	m.mu.Unlock()
+
+	collected := make([][]byte, to-from)
+	got := 0
+	hooks := harness.ExecHooks{
+		Range: harness.Cells(from, to),
+		Sink: func(i int, b []byte) { // calls serialised by the harness
+			if i >= from && i < to && collected[i-from] == nil {
+				collected[i-from] = b
+				got++
+			}
+		},
+	}
+	if _, _, err := execute(ctx, spec, m.slots, nil, hooks); err != nil && !errors.Is(err, harness.ErrRangePartial) {
+		return nil, err
+	}
+	if got != to-from {
+		return nil, fmt.Errorf("range [%d,%d): %d of %d cells produced results (range exceeds the job's matrix?)", from, to, got, to-from)
+	}
+	m.mu.Lock()
+	m.shardServedCellsCtr.Add(uint64(got))
+	m.mu.Unlock()
+	return collected, nil
+}

@@ -87,7 +87,13 @@ type ScenarioConfig struct {
 
 // ScenarioResult is the outcome of one scenario run.
 type ScenarioResult struct {
-	Config    ScenarioConfig
+	// Config and Trace never cross the JSON wire: Config holds a
+	// policy.Scheme interface (which cannot unmarshal) and Trace's ring
+	// buffer is unexported. The icesimd sharding path ships cell
+	// results as JSON, so consumers of remote results must label cells
+	// from their matrix coordinates and keep trace-recording cells
+	// local (the coordinator does both).
+	Config    ScenarioConfig `json:"-"`
 	Frames    metrics.FrameStats
 	Mem       mm.Stats
 	Distances mm.DistanceHistogram
@@ -107,7 +113,7 @@ type ScenarioResult struct {
 	RenderBlock sim.Time
 	// Trace holds the recorded event ring when ScenarioConfig.TraceCap was
 	// set (nil otherwise).
-	Trace *trace.Buffer
+	Trace *trace.Buffer `json:"-"`
 	// Subjects maps trace subjects (PIDs, UIDs) to display names for the
 	// Perfetto export. Populated only when TraceCap was set.
 	Subjects map[int]string
