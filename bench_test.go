@@ -1,6 +1,7 @@
 package ice_test
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -22,9 +23,14 @@ import (
 
 // benchExperiment drives one experiment runner b.N times serially
 // (Workers 1, so ns/op measures the simulation, not the host's core
-// count) and reports harness cell throughput via b.ReportMetric.
+// count) and reports harness cell throughput plus per-cell allocation
+// pressure via b.ReportMetric. allocs/cell is the heap-allocation count
+// (runtime.MemStats.Mallocs delta) divided by completed cells — the
+// metric ci.sh snapshots into BENCH_<n>.json per PR.
 func benchExperiment(b *testing.B, run func(experiments.Options) error) {
 	var cells atomic.Int64
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := experiments.Options{
@@ -36,8 +42,13 @@ func benchExperiment(b *testing.B, run func(experiments.Options) error) {
 		}
 	}
 	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(cells.Load())/secs, "cells/sec")
+	}
+	if n := cells.Load(); n > 0 {
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(n), "allocs/cell")
 	}
 }
 
@@ -171,6 +182,15 @@ func BenchmarkFigure11(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	benchExperiment(b, func(o experiments.Options) error {
 		_, err := experiments.Ablations(o)
+		return err
+	})
+}
+
+// BenchmarkPolicySweep regenerates the registry-driven scheme sweep
+// (every registered scheme × device × base codec).
+func BenchmarkPolicySweep(b *testing.B) {
+	benchExperiment(b, func(o experiments.Options) error {
+		_, err := experiments.PolicySweep(o)
 		return err
 	})
 }

@@ -4,8 +4,11 @@
 #   under the race detector (the harness worker pool must stay
 #   race-free at any -workers setting), a flake guard re-running the
 #   concurrency-heavy packages, a one-iteration benchmark smoke pass
-#   (benchmarks must at least run), a golden-file check on the Perfetto
-#   trace exporter, an icesimd smoke test (boot with a state dir,
+#   (benchmarks must at least run; their cells/sec and allocs/cell
+#   metrics are written to BENCH_6.json), a golden-file check on the
+#   Perfetto trace exporter, the scheme byte-identity goldens (every
+#   registered policy scheme's fixed-seed result hash),
+#   an icesimd smoke test (boot with a state dir,
 #   health check, one cached job round-trip, SIGTERM drain, then a
 #   restart on the same state dir that must serve the job
 #   byte-identical from the persistent result store), and a multi-node
@@ -31,12 +34,39 @@ go test -race ./...
 # shows up on the second, cache-warm iteration.
 go test -race -count=2 -timeout 20m ./internal/harness/ ./internal/service/
 
-# Benchmarks stay runnable: one iteration each, no timing claims.
-go test -run='^$' -bench=. -benchtime=1x ./...
+# Benchmarks stay runnable: one iteration each, no timing claims — and
+# their cells/sec + allocs/cell metrics are snapshotted into BENCH_6.json
+# so the perf trajectory the ROADMAP asks for accumulates one file per PR.
+benchout=$(mktemp)
+go test -run='^$' -bench=. -benchtime=1x ./... | tee "$benchout"
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name=$1; sub(/-[0-9]+$/, "", name)
+    cells=""; allocs=""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "cells/sec")   cells = $(i-1)
+        if ($i == "allocs/cell") allocs = $(i-1)
+    }
+    if (cells != "") {
+        if (n++) printf ",\n"
+        printf "  {\"bench\": \"%s\", \"cells_per_sec\": %s, \"allocs_per_cell\": %s}", \
+            name, cells, (allocs == "" ? "null" : allocs)
+    }
+}
+END { print "\n]" }
+' "$benchout" > BENCH_6.json
+rm -f "$benchout"
+grep -q cells_per_sec BENCH_6.json || { echo "BENCH_6.json has no bench rows" >&2; exit 1; }
 
 # The Perfetto exporter's output is pinned byte-for-byte; a drift means
 # the golden file needs a deliberate `go test ./internal/trace -update`.
 go test -run=TestExportChromeGolden ./internal/trace/
+
+# Scheme byte-identity: every registered policy scheme must reproduce its
+# fixed-seed golden hash (internal/workload/golden_test.go). A drift here
+# means a refactor changed simulation behaviour.
+go test -run=TestSchemeGolden ./internal/workload/
 
 # icesimd smoke: boot on a random port with a persistent state dir,
 # health-check, run one tiny job twice (the second answer must come from

@@ -33,6 +33,7 @@ import (
 
 	"github.com/eurosys23/ice/internal/experiments"
 	"github.com/eurosys23/ice/internal/harness"
+	"github.com/eurosys23/ice/internal/policy"
 )
 
 // cellTiming is one per-cell wall-clock measurement for -json output.
@@ -66,8 +67,21 @@ func main() {
 
 	all := experiments.Registry()
 	if *list {
+		fmt.Println("experiments:")
 		for _, r := range all {
-			fmt.Printf("%-10s %-50s %s\n", r.ID, r.Desc, r.Axes)
+			fmt.Printf("  %-12s %-50s %s\n", r.ID, r.Desc, r.Axes)
+		}
+		fmt.Println("\nschemes (accepted anywhere a scheme name is taken):")
+		for _, info := range policy.Infos() {
+			name := info.Name
+			if len(info.Aliases) > 0 {
+				name += " (" + strings.Join(info.Aliases, ", ") + ")"
+			}
+			axes := ""
+			if len(info.Axes) > 0 {
+				axes = "axes: " + strings.Join(info.Axes, ", ")
+			}
+			fmt.Printf("  %-22s %-60s %s\n", name, info.Desc, axes)
 		}
 		return
 	}

@@ -18,6 +18,12 @@ type LMK struct {
 
 	// lastKill throttles kill storms: one kill per cooldown window.
 	lastKill sim.Time
+
+	// victimFn, when set, overrides victim selection — the OOMK-decision
+	// seam schemes (SWAM) install. It receives the kill candidates in
+	// cached-LRU order (oldest first) and returns the victim, or nil to
+	// veto the kill.
+	victimFn func(cands []*Instance) *Instance
 }
 
 // lmkCooldown is the minimum spacing between kills.
@@ -69,20 +75,55 @@ func (l *LMK) kill(victim *Instance) {
 // Tests use it to exercise kill-related bookkeeping deterministically.
 func (l *LMK) KillForTest(in *Instance) { l.kill(in) }
 
-// pickVictim returns the running cached app with the highest adj score,
-// preferring the oldest entry in the cached list. Perceptible apps are
-// spared unless nothing else remains.
+// SetVictimFn installs a victim-selection policy consulted before the
+// stock oldest-cached heuristic. Nil restores the default. The policy
+// sees running cached candidates oldest-first (perceptible ones only
+// when nothing else remains, mirroring the stock sparing rule).
+func (l *LMK) SetVictimFn(fn func(cands []*Instance) *Instance) {
+	l.victimFn = fn
+}
+
+// RequestKill asks the killer to select and kill one victim now, outside
+// a pressure event — the proactive half of swap/OOMK collaboration
+// (SWAM kills ahead of swap exhaustion instead of waiting for reclaim to
+// fail). It honours the installed victim policy, counts like any LMK
+// kill, and re-arms the kill cooldown. Returns the victim, or nil when
+// no candidate exists or the policy vetoed.
+func (l *LMK) RequestKill() *Instance {
+	victim := l.pickVictim()
+	if victim == nil {
+		return nil
+	}
+	l.lastKill = l.sys.Eng.Now()
+	l.Kills++
+	l.kill(victim)
+	return victim
+}
+
+// pickVictim returns the victim the installed policy chooses, falling
+// back to the stock heuristic: the running cached app with the highest
+// adj score, preferring the oldest entry in the cached list. Perceptible
+// apps are spared unless nothing else remains.
 func (l *LMK) pickVictim() *Instance {
 	cached := l.sys.AM.cachedMRU
+	var cands []*Instance
 	for i := len(cached) - 1; i >= 0; i-- {
 		if cached[i].Running() && !cached[i].Spec.Perceptible {
-			return cached[i]
+			cands = append(cands, cached[i])
 		}
 	}
-	for i := len(cached) - 1; i >= 0; i-- {
-		if cached[i].Running() {
-			return cached[i]
+	if len(cands) == 0 {
+		for i := len(cached) - 1; i >= 0; i-- {
+			if cached[i].Running() {
+				cands = append(cands, cached[i])
+			}
 		}
 	}
-	return nil
+	if len(cands) == 0 {
+		return nil
+	}
+	if l.victimFn != nil {
+		return l.victimFn(cands)
+	}
+	return cands[0]
 }

@@ -63,6 +63,12 @@ type System struct {
 	// emit paths are nil-safe and free.
 	Trace *trace.Buffer
 
+	// freezeGate, when set, is consulted before any application freeze —
+	// the freeze decision point schemes compose through (a vendor
+	// whitelist, a predictor sparing the likely-next app). Returning
+	// false vetoes the freeze.
+	freezeGate func(uid int) bool
+
 	rng *sim.Rand
 	ins sysInstruments
 
@@ -268,9 +274,19 @@ func (sys *System) ThawApp(uid int) int {
 	return n
 }
 
-// FreezeApp freezes every alive process of an application UID. Returns how
-// many processes were frozen.
+// SetFreezeGate installs a predicate consulted before every FreezeApp;
+// returning false vetoes the freeze. Nil (the default) allows all.
+// Installing a gate composes with any scheme that freezes: the caller
+// still decides *whom* to freeze, the gate decides *whether*.
+func (sys *System) SetFreezeGate(fn func(uid int) bool) { sys.freezeGate = fn }
+
+// FreezeApp freezes every alive process of an application UID, unless
+// the installed freeze gate vetoes it. Returns how many processes were
+// frozen.
 func (sys *System) FreezeApp(uid int) int {
+	if sys.freezeGate != nil && !sys.freezeGate(uid) {
+		return 0
+	}
 	now := sys.Eng.Now()
 	n := 0
 	for _, p := range sys.Procs.AliveByUID(uid) {

@@ -49,6 +49,13 @@ type Config struct {
 	// application is frozen it is thawed ahead of time, hiding the thaw
 	// (and part of the refault) latency from the next hot launch.
 	PredictiveThaw bool
+
+	// Predictor, when non-nil, is the app-switch model PredictiveThaw
+	// uses instead of constructing its own. Injecting one lets a scheme
+	// share a single model between ICE's pre-thaw and its other decision
+	// points (policy.ObserveSwitches wires the same seam for non-ICE
+	// schemes). Ignored unless PredictiveThaw is set.
+	Predictor *predict.Markov
 }
 
 // DefaultConfig returns the paper's parameterisation.
@@ -175,7 +182,10 @@ func Attach(sys *android.System, cfg Config) *Framework {
 	// stream; when the likely next app is in the frozen set, thaw it
 	// before the user asks for it.
 	if cfg.PredictiveThaw {
-		f.predictor = predict.NewMarkov()
+		f.predictor = cfg.Predictor
+		if f.predictor == nil {
+			f.predictor = predict.NewMarkov()
+		}
 		sys.Hooks.FGChange = append(sys.Hooks.FGChange, func(_, cur *android.Instance) {
 			if cur == nil {
 				return

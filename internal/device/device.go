@@ -92,6 +92,9 @@ func (p Profile) ZramConfig() zram.Config {
 	}
 	cfg.CompressLatency = scale(cfg.CompressLatency, p.CPUFactor)
 	cfg.DecompressLatency = scale(cfg.DecompressLatency, p.CPUFactor)
+	// Codecs selected per page (zram.SetCodecFn) arrive unscaled from
+	// the preset table; the partition applies the same CPU factor.
+	cfg.LatencyScale = p.CPUFactor
 	return cfg
 }
 

@@ -292,7 +292,7 @@ func TestSeedHygiene(t *testing.T) {
 	var cells []harness.Cell
 	cells = append(cells, matrixSpec(o,
 		[]device.Profile{device.Pixel3, device.P20},
-		policy.Names(), workload.Scenarios()).Cells()...)
+		policy.Headline(), workload.Scenarios()).Cells()...)
 	cells = append(cells, figure9Matrix(o)...)
 	if len(cells) < 1000 {
 		t.Fatalf("matrix unexpectedly small: %d cells", len(cells))

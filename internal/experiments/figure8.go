@@ -130,7 +130,7 @@ func runMatrix(o Options, devices []device.Profile, schemes []string, scenarios 
 // device-default background population (6 on Pixel3, 8 on P20).
 func Figure8(o Options) (Figure8Result, error) {
 	o = o.withDefaults()
-	schemes := policy.Names()
+	schemes := policy.Headline()
 	cells, err := runMatrix(o, []device.Profile{device.Pixel3, device.P20}, schemes, workload.Scenarios())
 	if err != nil {
 		return Figure8Result{}, err

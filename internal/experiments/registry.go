@@ -92,6 +92,11 @@ var registry = []Runner{
 			r, err := Ablations(o)
 			return r.String, r, err
 		}},
+	{"policy-sweep", "all registered schemes × memory size × codec", "device{Pixel3,P20} × scheme(registry) × zram-codec{lz4,zstd} × round",
+		func(o Options) (func() string, interface{}, error) {
+			r, err := PolicySweep(o)
+			return r.String, r, err
+		}},
 }
 
 // Registry returns every registered experiment in paper order. The

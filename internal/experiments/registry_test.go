@@ -6,12 +6,14 @@ import (
 	"testing"
 )
 
-// TestRegistryComplete pins the registered experiment IDs: all 13 paper
-// runners, in paper order, each with a description and an axes sketch.
+// TestRegistryComplete pins the registered experiment IDs: the 13 paper
+// runners in paper order plus the registry-driven scheme sweep, each
+// with a description and an axes sketch.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig1", "fig2a", "fig2b", "fig3", "fig4",
 		"fig8", "fig9", "fig10", "table5", "pressure", "fig11", "ablations",
+		"policy-sweep",
 	}
 	got := IDs()
 	if len(got) != len(want) {

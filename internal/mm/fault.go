@@ -1,5 +1,7 @@
 package mm
 
+import "github.com/eurosys23/ice/internal/zram"
+
 // Touch accesses the given pages on behalf of process pid. Resident pages
 // are marked referenced (with two-touch promotion to the active list, as in
 // the kernel); evicted pages refault. The returned Cost is what the calling
@@ -38,6 +40,9 @@ func (m *Manager) Touch(pid int, ids []PageID) Cost {
 				m.addToLRU(id, activeList(p.class))
 			}
 			p.referenced = true
+			if p.heat < heatMax {
+				p.heat++
+			}
 		case Evicted:
 			cost.Add(m.refault(id, &fileReads))
 		}
@@ -88,9 +93,13 @@ func (m *Manager) refault(id PageID, fileReads *int) Cost {
 	cost.Stall += m.lockWait(m.cfg.LockHoldPerOp, true)
 
 	if p.class.Anon() {
-		cost.Stall += m.z.Load(p.class == AnonJava)
+		cost.Stall += m.z.Load(zram.CodecRef(p.zref), zram.PageInfo{Java: p.class == AnonJava, Heat: p.heat})
 	} else {
 		*fileReads++
+	}
+	// A refault is an access: the page was wanted back, so it warms up.
+	if p.heat < heatMax {
+		p.heat++
 	}
 
 	distance := m.evictClock - p.evictEpoch

@@ -218,6 +218,12 @@ type Manager struct {
 	pressureHooks []func()
 	refaultHooks  []func(RefaultEvent)
 
+	// swapFullHooks fire after a reclaim episode in which ZRAM rejected
+	// a store for lack of capacity; swapFullPending defers the delivery
+	// until the scan loop has released its iteration state.
+	swapFullHooks   []func()
+	swapFullPending bool
+
 	policy EvictionPolicy
 
 	thrash       thrashMeter
@@ -300,6 +306,36 @@ func (m *Manager) SetEvictionPolicy(p EvictionPolicy) { m.policy = p }
 // OnRefault registers a hook invoked synchronously on every refault.
 func (m *Manager) OnRefault(fn func(RefaultEvent)) {
 	m.refaultHooks = append(m.refaultHooks, fn)
+}
+
+// OnSwapFull registers a hook invoked when a reclaim episode had to
+// reject anonymous pages because the ZRAM partition is out of capacity —
+// the OOMK-decision seam SWAM's swap-aware victim policy plugs into.
+// Hooks run after the reclaim scan completes, never from inside it, so
+// they may kill processes (which mutates the page lists) safely.
+func (m *Manager) OnSwapFull(fn func()) {
+	m.swapFullHooks = append(m.swapFullHooks, fn)
+}
+
+// noteSwapFull records a capacity rejection for post-scan delivery. It
+// is deliberately not the delivery point: the caller sits inside the
+// reclaim scan loop, where a hook's side effects (an OOM kill tearing
+// down arena pages) would corrupt the iteration.
+func (m *Manager) noteSwapFull() {
+	if len(m.swapFullHooks) > 0 {
+		m.swapFullPending = true
+	}
+}
+
+// fireSwapFull delivers a pending swap-full notification.
+func (m *Manager) fireSwapFull() {
+	if !m.swapFullPending {
+		return
+	}
+	m.swapFullPending = false
+	for _, fn := range m.swapFullHooks {
+		fn()
+	}
 }
 
 // OnPressure registers a hook invoked when reclaim cannot restore the
@@ -531,7 +567,7 @@ func (m *Manager) freePage(id PageID) {
 		m.resident--
 	case Evicted:
 		if p.class.Anon() {
-			m.z.Drop(p.class == AnonJava)
+			m.z.Drop(zram.CodecRef(p.zref), zram.PageInfo{Java: p.class == AnonJava})
 		}
 	case Dead:
 		return
@@ -577,6 +613,19 @@ func (m *Manager) EvictedOf(pid int) int {
 	return n
 }
 
+// HeatOf sums the hotness of pid's resident pages — the per-process age
+// signal OOMK-decision policies (SWAM) score victims with: a large
+// footprint with low total heat is memory held but not used.
+func (m *Manager) HeatOf(pid int) int {
+	var h int
+	for _, id := range m.byPID[pid] {
+		if p := &m.arena[id]; p.state == Resident {
+			h += int(p.heat)
+		}
+	}
+	return h
+}
+
 // AllocTransient acquires n short-lived buffer pages (render surfaces,
 // bounce buffers) that bypass the LRU, returning the allocation cost.
 // Callers must pair with FreeTransient.
@@ -601,6 +650,7 @@ type PageInfo struct {
 	State      State
 	Dirty      bool
 	Referenced bool
+	Heat       uint8
 }
 
 // Info returns a snapshot of page id.
@@ -613,5 +663,6 @@ func (m *Manager) Info(id PageID) PageInfo {
 		State:      p.state,
 		Dirty:      p.dirty,
 		Referenced: p.referenced,
+		Heat:       p.heat,
 	}
 }

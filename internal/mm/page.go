@@ -87,11 +87,22 @@ type page struct {
 	list listID
 	prev PageID
 	next PageID
+	// heat is the page's hotness: a saturating access counter bumped on
+	// every touch and halved when ageing demotes the page to an inactive
+	// list. Policies read it through the swap boundary (zram.PageInfo)
+	// and per-process aggregates; it never influences stock reclaim.
+	heat uint8
+	// zref is the zram.CodecRef of an Evicted anonymous page's swap
+	// entry — which codec compressed it, so Load/Drop account exactly.
+	zref uint8
 	// evictEpoch is the workingset shadow entry: the value of the manager's
 	// eviction clock when the page was reclaimed. The refault distance is
 	// the clock delta at refault time.
 	evictEpoch uint64
 }
+
+// heatMax saturates the per-page hotness counter.
+const heatMax = 0xff
 
 // listID identifies an LRU list.
 type listID uint8

@@ -3,6 +3,7 @@ package mm
 import (
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/trace"
+	"github.com/eurosys23/ice/internal/zram"
 )
 
 // EvictionPolicy lets schemes steer reclaim victim selection. Acclaim's
@@ -51,6 +52,9 @@ func (m *Manager) demoteIfNeeded(c Class, want int) sim.Time {
 		}
 		p := &m.arena[id]
 		p.referenced = false
+		// Ageing halves hotness: a page that stops being touched cools
+		// exponentially (the signal Ariadne's codec choice reads).
+		p.heat >>= 1
 		m.addToLRU(id, inact)
 		cpu += m.cfg.ScanCost
 	}
@@ -166,15 +170,17 @@ func (m *Manager) reclaimPages(target int) reclaimResult {
 			continue
 		}
 		if p.class.Anon() {
-			cost, ok := m.z.Store(p.class == AnonJava)
+			cost, ref, ok := m.z.Store(zram.PageInfo{Java: p.class == AnonJava, Heat: p.heat})
 			if !ok {
 				// ZRAM full: anonymous reclaim is off the table. Rotate and
 				// remember the rejection; file pages may still be viable.
 				m.stats.ZramRejects++
 				m.ins.zramRejects.Inc()
+				m.noteSwapFull()
 				m.addToLRU(id, activeList(p.class))
 				continue
 			}
+			p.zref = uint8(ref)
 			res.cpu += cost
 		}
 		cheapDrop := p.class == File && !p.dirty
@@ -237,6 +243,7 @@ func (m *Manager) KswapdStep() (cpu sim.Time, reclaimed int, more bool) {
 		return 0, 0, false
 	}
 	res := m.reclaimPages(m.cfg.KswapdBatch)
+	m.fireSwapFull()
 	m.stats.KswapdReclaimed += uint64(res.reclaimed)
 	m.tr.Span(m.eng.Now(), trace.CatMM, "kswapd-reclaim", 0, res.cpu,
 		int64(res.reclaimed), int64(res.scanned))
@@ -256,6 +263,7 @@ func (m *Manager) directReclaim(target int) Cost {
 	m.stats.DirectReclaimEpisodes++
 	m.ins.directEpisodes.Inc()
 	res := m.reclaimPages(target)
+	m.fireSwapFull()
 	m.stats.DirectReclaimed += uint64(res.reclaimed)
 	var cost Cost
 	cost.Stall = res.cpu
@@ -286,9 +294,12 @@ func (m *Manager) ReclaimProcess(pid int) int {
 			continue
 		}
 		if p.class.Anon() {
-			if _, ok := m.z.Store(p.class == AnonJava); !ok {
+			_, ref, ok := m.z.Store(zram.PageInfo{Java: p.class == AnonJava, Heat: p.heat})
+			if !ok {
+				m.noteSwapFull()
 				continue
 			}
+			p.zref = uint8(ref)
 		} else if p.dirty {
 			writeback++
 			p.dirty = false
@@ -309,5 +320,6 @@ func (m *Manager) ReclaimProcess(pid int) int {
 		m.disk.Write(writeback, nil)
 		m.stats.WritebackPages += uint64(writeback)
 	}
+	m.fireSwapFull()
 	return n
 }

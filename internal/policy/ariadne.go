@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/android"
+	"github.com/eurosys23/ice/internal/zram"
+)
+
+var ariadneInfo = Info{
+	Name: "Ariadne",
+	Desc: "hotness-aware compressed swap: hot pages fast codec, cold pages dense codec (arXiv:2502.12826)",
+	Axes: []string{"HotThreshold", "FastCodec", "DenseCodec"},
+	New:  func() Scheme { return &Ariadne{} },
+}
+
+// Ariadne (Liang et al., arXiv:2502.12826) sizes compression effort to
+// page temperature. Pages that are likely to refault soon (hot at
+// reclaim time) go through a fast codec so the decompression sits on the
+// fault path as briefly as possible; cold pages — which may never come
+// back — go through a dense codec, stretching the same ZRAM partition
+// over more of them. The boolean-java plumbing the swap boundary used to
+// carry could not express this: it is exactly what the zram.PageInfo
+// codec-selection seam exists for.
+type Ariadne struct {
+	// HotThreshold is the mm heat at or above which a page takes the
+	// fast path (default 2: touched at least twice since last ageing).
+	HotThreshold uint8
+	// FastCodec / DenseCodec name zram presets (defaults lz4 / zstd).
+	FastCodec  string
+	DenseCodec string
+}
+
+// Name implements Scheme.
+func (*Ariadne) Name() string { return "Ariadne" }
+
+// Attach implements Scheme.
+func (a *Ariadne) Attach(sys *android.System) {
+	if a.HotThreshold == 0 {
+		a.HotThreshold = 2
+	}
+	if a.FastCodec == "" {
+		a.FastCodec = "lz4"
+	}
+	if a.DenseCodec == "" {
+		a.DenseCodec = "zstd"
+	}
+	fast, err := zram.Preset(a.FastCodec)
+	if err != nil {
+		panic(fmt.Sprintf("policy: Ariadne fast codec: %v", err))
+	}
+	dense, err := zram.Preset(a.DenseCodec)
+	if err != nil {
+		panic(fmt.Sprintf("policy: Ariadne dense codec: %v", err))
+	}
+	threshold := a.HotThreshold
+	sys.Zram.SetCodecFn(func(info zram.PageInfo) zram.Codec {
+		if info.Heat >= threshold {
+			return fast
+		}
+		return dense
+	})
+}

@@ -1,0 +1,21 @@
+package policy
+
+import "github.com/eurosys23/ice/internal/android"
+
+var baselineInfo = Info{
+	Name:     "LRU+CFS",
+	Aliases:  []string{"baseline"},
+	Desc:     "stock kernel LRU reclaim plus CFS scheduling, no collaboration",
+	Headline: true,
+	New:      func() Scheme { return Baseline{} },
+}
+
+// Baseline is the stock configuration: kernel LRU reclaim plus CFS
+// scheduling, with no collaboration between the two. It installs nothing.
+type Baseline struct{}
+
+// Name implements Scheme.
+func (Baseline) Name() string { return "LRU+CFS" }
+
+// Attach implements Scheme.
+func (Baseline) Attach(*android.System) {}

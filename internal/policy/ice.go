@@ -1,0 +1,32 @@
+package policy
+
+import (
+	"github.com/eurosys23/ice/internal/android"
+	"github.com/eurosys23/ice/internal/core"
+)
+
+var iceInfo = Info{
+	Name:     "Ice",
+	Aliases:  []string{"ICE"},
+	Desc:     "the paper's framework: refault-driven freezing + memory-aware thawing",
+	Axes:     []string{"Delta", "Et", "WhitelistAdj", "MaxEf", "PredictiveThaw"},
+	Headline: true,
+	New:      func() Scheme { return &Ice{Config: core.DefaultConfig()} },
+}
+
+// Ice installs the paper's framework (internal/core) with the given
+// configuration.
+type Ice struct {
+	Config core.Config
+
+	// Framework is populated by Attach for inspection by experiments.
+	Framework *core.Framework
+}
+
+// Name implements Scheme.
+func (*Ice) Name() string { return "Ice" }
+
+// Attach implements Scheme.
+func (i *Ice) Attach(sys *android.System) {
+	i.Framework = core.Attach(sys, i.Config)
+}

@@ -32,10 +32,47 @@ func TestByNameResolvesAllSchemes(t *testing.T) {
 
 func TestNamesOrder(t *testing.T) {
 	n := Names()
-	want := []string{"LRU+CFS", "UCSG", "Acclaim", "Ice"}
+	want := []string{"LRU+CFS", "UCSG", "Acclaim", "Ice", "PowerManager"}
+	if len(n) < len(want) {
+		t.Fatalf("Names() = %v", n)
+	}
 	for i := range want {
 		if n[i] != want[i] {
 			t.Fatalf("Names() = %v", n)
+		}
+	}
+	h := Headline()
+	wantH := []string{"LRU+CFS", "UCSG", "Acclaim", "Ice"}
+	if len(h) != len(wantH) {
+		t.Fatalf("Headline() = %v", h)
+	}
+	for i := range wantH {
+		if h[i] != wantH[i] {
+			t.Fatalf("Headline() = %v", h)
+		}
+	}
+}
+
+// TestRegistryRoundTrip asserts the split-brain fix: every registered
+// name — and every alias — resolves through ByName to a scheme whose
+// Name() is the canonical registry name.
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, info := range Infos() {
+		names := append([]string{info.Name}, info.Aliases...)
+		for _, n := range names {
+			s, err := ByName(n)
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", n, err)
+			}
+			if s.Name() != info.Name {
+				t.Fatalf("ByName(%q).Name() = %q, want %q", n, s.Name(), info.Name)
+			}
+		}
+		if info.Desc == "" {
+			t.Errorf("scheme %q has no description", info.Name)
+		}
+		if info.New == nil {
+			t.Errorf("scheme %q has no constructor", info.Name)
 		}
 	}
 }
@@ -155,6 +192,35 @@ func TestPowerManagerFreezesByEnergy(t *testing.T) {
 }
 
 const time500 = 500 * sim.Millisecond
+
+// TestPowerManagerPrunesDeadApps is the regression test for the
+// unbounded lastCPU map: killing an app must drop its CPU-accounting
+// entry (and any stale frozen-set entry) once its last process exits.
+func TestPowerManagerPrunesDeadApps(t *testing.T) {
+	sys := android.NewSystem(7, device.P20)
+	pm := &PowerManager{FreezePeriod: 5 * sim.Second, ThawPeriod: 2 * sim.Second}
+	pm.Attach(sys)
+	sys.AM.InstallAll(app.Catalog())
+	for _, n := range []string{"Facebook", "Uber", "Camera"} {
+		sys.AM.RequestForeground(n, nil)
+		sys.RunUntil(sys.AM.LaunchIdle, 120*sim.Second, 20*sim.Millisecond)
+		sys.Run(time500)
+	}
+	sys.AM.RequestHome()
+	sys.Run(6 * sim.Second) // cross a freeze boundary so lastCPU populates
+	if pm.TrackedApps() == 0 {
+		t.Fatal("no CPU accounting entries after a freeze cycle")
+	}
+	before := pm.TrackedApps()
+	victim := sys.AM.App("Facebook")
+	if !victim.Running() {
+		t.Skip("facebook already dead")
+	}
+	sys.LMK.KillForTest(victim)
+	if got := pm.TrackedApps(); got != before-1 {
+		t.Fatalf("lastCPU entries after kill = %d, want %d", got, before-1)
+	}
+}
 
 func TestPowerManagerChargingDisablesFreezing(t *testing.T) {
 	sys := android.NewSystem(5, device.P20)

@@ -1,0 +1,19 @@
+package policy
+
+import (
+	"github.com/eurosys23/ice/internal/android"
+	"github.com/eurosys23/ice/internal/predict"
+)
+
+// ObserveSwitches feeds the system's foreground-switch stream into an
+// app-usage model. Any scheme can own a predictor this way — the model
+// is no longer hardwired into ICE's core: ICE injects one through
+// core.Config.Predictor, SWAM scores OOMK victims with one, and future
+// schemes compose the same seam.
+func ObserveSwitches(sys *android.System, m *predict.Markov) {
+	sys.Hooks.FGChange = append(sys.Hooks.FGChange, func(_, cur *android.Instance) {
+		if cur != nil {
+			m.Observe(cur.UID)
+		}
+	})
+}

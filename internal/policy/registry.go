@@ -1,0 +1,112 @@
+// Package policy implements the management schemes compared in the
+// paper's evaluation (§5.2) and the related-work schemes built on the
+// same capability layer: the stock LRU+CFS baseline, UCSG's user-centric
+// priority scheduling, Acclaim's foreground-aware memory reclaim, ICE
+// itself, the vendor power-manager freezing of Table 5, SWAM's
+// swap/OOMK collaboration, and Ariadne's hotness-aware compressed swap.
+//
+// Each scheme lives in its own file and attaches to a simulated device
+// through the capability seams the layers below export: eviction policy
+// and swap-full hooks in internal/mm, per-page codec selection in
+// internal/zram, weight/speed functions in internal/sched, victim
+// selection and kill/freeze decision points in internal/android, and the
+// injectable app-switch predictor in internal/predict. The registry
+// below is the single source of truth for scheme names, aliases,
+// descriptions and tunable axes; ByName, Names, Headline and Infos are
+// all derived from it.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eurosys23/ice/internal/android"
+)
+
+// Scheme is a memory/process management policy that can be installed on a
+// system before a workload runs.
+type Scheme interface {
+	Name() string
+	Attach(sys *android.System)
+}
+
+// Info is a registry entry: everything the tooling layers need to know
+// about a scheme without instantiating it. cmd/experiments -list, the
+// icesimd /schemes endpoint and the docs tables all render from this.
+type Info struct {
+	// Name is the canonical evaluation name ("LRU+CFS", "Ice", ...).
+	Name string
+	// Aliases are accepted spellings beyond the case-insensitive
+	// canonical name.
+	Aliases []string
+	// Desc is a one-line description.
+	Desc string
+	// Axes names the scheme's tunable parameters (struct fields of the
+	// concrete type), for sweep tooling and -list output.
+	Axes []string
+	// Headline marks the four schemes the paper's headline figures
+	// compare (Figures 8/9 iterate these, in registry order).
+	Headline bool
+	// New constructs a fresh instance with default parameters.
+	New func() Scheme
+}
+
+// registry is the declarative scheme table, in presentation order: the
+// four headline schemes first (figure order), then the Table 5 vendor
+// power manager, then the related-work schemes built on the capability
+// layer. Each entry lives next to its scheme's implementation.
+var registry = []Info{
+	baselineInfo,
+	ucsgInfo,
+	acclaimInfo,
+	iceInfo,
+	powerManagerInfo,
+	swamInfo,
+	ariadneInfo,
+}
+
+// ByName resolves a scheme by canonical name (case-insensitive) or
+// registered alias, returning a fresh instance with default parameters.
+func ByName(name string) (Scheme, error) {
+	for _, info := range registry {
+		if strings.EqualFold(name, info.Name) {
+			return info.New(), nil
+		}
+		for _, a := range info.Aliases {
+			if strings.EqualFold(name, a) {
+				return info.New(), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("policy: unknown scheme %q (have %v)", name, Names())
+}
+
+// Names lists every registered scheme's canonical name, in registry
+// order. Unlike Headline, this includes the non-figure schemes
+// (PowerManager, SWAM, Ariadne).
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, info := range registry {
+		out[i] = info.Name
+	}
+	return out
+}
+
+// Headline lists the four headline schemes in figure order; the paper's
+// comparison matrices (Figures 8/9) iterate these.
+func Headline() []string {
+	var out []string
+	for _, info := range registry {
+		if info.Headline {
+			out = append(out, info.Name)
+		}
+	}
+	return out
+}
+
+// Infos returns a copy of the registry in presentation order.
+func Infos() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}

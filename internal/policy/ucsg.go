@@ -1,0 +1,61 @@
+package policy
+
+import (
+	"github.com/eurosys23/ice/internal/android"
+	"github.com/eurosys23/ice/internal/proc"
+)
+
+var ucsgInfo = Info{
+	Name:     "UCSG",
+	Desc:     "user-centric scheduling: FG priority boost, BG demotion (DAC'14)",
+	Headline: true,
+	New:      func() Scheme { return UCSG{} },
+}
+
+// UCSG (Tseng et al., DAC'14) treats foreground and background processes
+// differently in the scheduler: processes of the foreground application
+// get elevated priority, background processes are demoted. It changes only
+// scheduling — reclaim remains stock LRU, so refaults fall only as far as
+// background CPU starvation slows the thrashing tasks (the ≈24 % reduction
+// of §6.1).
+type UCSG struct{}
+
+// Priority factors applied to app tasks.
+const (
+	ucsgFGBoost   = 8
+	ucsgBGDemote  = 4
+	ucsgMinWeight = proc.DefaultWeight / ucsgBGDemote
+)
+
+// Name implements Scheme.
+func (UCSG) Name() string { return "UCSG" }
+
+// ucsgBGSpeed is the execution speed of demoted background tasks: UCSG
+// parks them on little cores at low frequency.
+const ucsgBGSpeed = 0.35
+
+// Attach implements Scheme.
+func (UCSG) Attach(sys *android.System) {
+	sys.Sched.SetWeightFn(func(t *proc.Task) int {
+		if t.Proc.Kind != proc.KindApp {
+			return t.Weight
+		}
+		if t.Proc.UID == sys.MM.ForegroundUID() {
+			return t.Weight * ucsgFGBoost
+		}
+		w := t.Weight / ucsgBGDemote
+		if w < ucsgMinWeight {
+			w = ucsgMinWeight
+		}
+		return w
+	})
+	sys.Sched.SetSpeedFn(func(t *proc.Task) float64 {
+		if t.Proc.Kind != proc.KindApp {
+			return 1
+		}
+		if t.Proc.UID == sys.MM.ForegroundUID() {
+			return 1.1 // big-core placement for the user's app
+		}
+		return ucsgBGSpeed
+	})
+}

@@ -8,12 +8,14 @@ import (
 	"strings"
 
 	"github.com/eurosys23/ice/internal/experiments"
+	"github.com/eurosys23/ice/internal/policy"
 )
 
 // NewServer wires the daemon's HTTP API over a Manager:
 //
 //	GET  /healthz           liveness
 //	GET  /experiments       the shared experiment registry (IDs + axes)
+//	GET  /schemes           the policy scheme registry (names, aliases, axes)
 //	GET  /metrics           service instruments (text; ?format=json)
 //	POST /jobs              submit a JobSpec, returns the JobView
 //	GET  /jobs              list jobs in submission order
@@ -41,6 +43,24 @@ func NewServer(m *Manager) http.Handler {
 		var out []entry
 		for _, runner := range experiments.Registry() {
 			out = append(out, entry{ID: runner.ID, Desc: runner.Desc, Axes: runner.Axes})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /schemes", func(w http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			Name     string   `json:"name"`
+			Aliases  []string `json:"aliases,omitempty"`
+			Desc     string   `json:"desc"`
+			Axes     []string `json:"axes,omitempty"`
+			Headline bool     `json:"headline,omitempty"`
+		}
+		var out []entry
+		for _, info := range policy.Infos() {
+			out = append(out, entry{
+				Name: info.Name, Aliases: info.Aliases, Desc: info.Desc,
+				Axes: info.Axes, Headline: info.Headline,
+			})
 		}
 		writeJSON(w, http.StatusOK, out)
 	})

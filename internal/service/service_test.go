@@ -11,6 +11,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/eurosys23/ice/internal/experiments"
+	"github.com/eurosys23/ice/internal/policy"
 )
 
 // tinySpec is a fast single-cell run used by the end-to-end tests.
@@ -89,6 +92,13 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if code, body := getBody(t, ts.URL+"/experiments"); code != 200 ||
 		!strings.Contains(string(body), "fig8") || !strings.Contains(string(body), "axes") {
 		t.Fatalf("experiments: %d %s", code, body)
+	}
+	// The scheme registry is served too: canonical names, aliases and
+	// tunable axes, straight from policy.Infos.
+	if code, body := getBody(t, ts.URL+"/schemes"); code != 200 ||
+		!strings.Contains(string(body), "Ariadne") || !strings.Contains(string(body), "baseline") ||
+		!strings.Contains(string(body), "HotThreshold") {
+		t.Fatalf("schemes: %d %s", code, body)
 	}
 
 	first := postJob(t, ts.URL, tinySpec())
@@ -303,6 +313,47 @@ func TestDaemonExperimentJob(t *testing.T) {
 	// No trace for experiment jobs.
 	if code, _ := getBody(t, ts.URL+"/jobs/"+view.ID+"/trace"); code != http.StatusNotFound {
 		t.Fatalf("trace status %d, want 404", code)
+	}
+}
+
+// TestDaemonPolicySweepJob runs the registry-driven scheme sweep through
+// the daemon: every registered scheme — the related-work SWAM and
+// Ariadne included — must produce a cell on both devices and codecs.
+func TestDaemonPolicySweepJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("28-cell sweep")
+	}
+	m := NewManager(Config{})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+
+	view := postJob(t, ts.URL, JobSpec{Kind: KindExperiment, Experiment: "policy-sweep", Fast: true, Rounds: 1})
+	final := waitTerminal(t, ts.URL, view.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %q (%s)", final.State, final.Error)
+	}
+	code, body := getBody(t, ts.URL+"/jobs/"+view.ID+"/result")
+	if code != 200 {
+		t.Fatalf("result %d", code)
+	}
+	var er ExperimentResult
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	var sweep experiments.PolicySweepResult
+	raw, _ := json.Marshal(er.Result)
+	if err := json.Unmarshal(raw, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	want := len(policy.Names()) * 2 * 2 // scheme × device × codec
+	if len(sweep.Cells) != want {
+		t.Fatalf("sweep produced %d cells, want %d", len(sweep.Cells), want)
+	}
+	for _, name := range []string{"SWAM", "Ariadne"} {
+		c := sweep.Cell("Pixel3", name, "lz4")
+		if c == nil || c.FPS <= 0 {
+			t.Fatalf("scheme %s missing from sweep: %+v", name, c)
+		}
 	}
 }
 

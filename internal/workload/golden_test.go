@@ -40,6 +40,8 @@ var schemeGolden = map[string]string{
 	"Acclaim":      "92981e48e392b5435207f8e7a23f5a51fc0dd2c322fb3de535eb114ce770f741",
 	"Ice":          "1cfb9e7a11c2e3dd5306c15d530ed0128d15f16bc6d1fef0212fa31490940b95",
 	"PowerManager": "ab82deca62aae97e2fd12769b2642297379cb572862f99280f9a78b871cbc34d",
+	"SWAM":         "05d9eb865c4d697c69a781b409770d7cecdc32e43e7a6ca687621120953a8f75",
+	"Ariadne":      "6721e945f9e8cc79612fc3d32f4fc82dd01c93cbafc4c02901a78be709090637",
 }
 
 // goldenResult is the deterministic surface of a ScenarioResult that the

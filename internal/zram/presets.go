@@ -31,6 +31,14 @@ type Codec struct {
 	DecompressLatency sim.Time
 }
 
+// ratio returns the codec's compression ratio for the page type.
+func (c Codec) ratio(java bool) float64 {
+	if java {
+		return c.JavaRatio
+	}
+	return c.NativeRatio
+}
+
 // DefaultCodec is the preset every device uses unless configured
 // otherwise; its parameters are exactly the pre-preset model, so the
 // default behaviour is byte-identical to earlier versions.

@@ -74,8 +74,8 @@ func TestCodecApply(t *testing.T) {
 	// A denser codec stores the same pages in a smaller footprint.
 	dense, loose := New(cfg), New(DefaultConfig(500))
 	for i := 0; i < 100; i++ {
-		dense.Store(true)
-		loose.Store(true)
+		dense.Store(PageInfo{Java: true})
+		loose.Store(PageInfo{Java: true})
 	}
 	if dense.FootprintPages() >= loose.FootprintPages() {
 		t.Fatalf("zstd footprint %d not below lz4 footprint %d",

@@ -30,7 +30,36 @@ type Config struct {
 	// faulting task.
 	CompressLatency   sim.Time
 	DecompressLatency sim.Time
+	// LatencyScale is the device CPU factor applied to codecs selected
+	// through SetCodecFn (the base latencies above arrive pre-scaled
+	// from the device profile; preset codecs picked per page do not).
+	// Zero means 1.
+	LatencyScale float64
 }
+
+// PageInfo describes a page crossing the swap boundary. It replaces the
+// bare java flag the store/load/drop calls used to take, so per-page
+// policies (Ariadne's hotness-aware codec choice) can see both the page
+// class and the memory manager's hotness estimate.
+type PageInfo struct {
+	// Java marks Java-heap pages (they compress better than native).
+	Java bool
+	// Heat is mm's per-page hotness: a saturating access counter, aged
+	// on LRU demotion. 0 is stone cold.
+	Heat uint8
+}
+
+// CodecRef identifies the codec a stored page was compressed with; the
+// memory manager keeps it in the page's swap entry and hands it back on
+// Load/Drop so mixed-codec accounting stays exact. Ref 0 is always the
+// partition's base Config parameters.
+type CodecRef uint8
+
+// CodecFn selects the codec for a page about to be compressed. Returning
+// codecs with distinct Names partitions the store; the Name is the
+// codec's identity for interning, so a CodecFn must not reuse a Name
+// with different parameters.
+type CodecFn func(PageInfo) Codec
 
 // DefaultConfig returns the model used for both devices, sized by
 // capacity: the DefaultCodec ("lz4") preset, whose parameters are
@@ -62,6 +91,15 @@ type Zram struct {
 	// pages (sum of 1/ratio per stored page).
 	compressedPages float64
 
+	// codecFn, when set, picks a codec per stored page. Nil keeps the
+	// base Config parameters for everything (ref 0).
+	codecFn CodecFn
+	// codecs is the interned codec table indexed by CodecRef; entry 0 is
+	// the base Config. storesByRef counts lifetime stores per entry.
+	codecs      []Codec
+	codecRefs   map[string]CodecRef
+	storesByRef []uint64
+
 	stats Stats
 
 	storedCtr    *obs.Counter
@@ -81,7 +119,65 @@ func New(cfg Config) *Zram {
 	if cfg.JavaRatio <= 1 || cfg.NativeRatio <= 1 {
 		panic("zram: compression ratios must exceed 1")
 	}
-	return &Zram{cfg: cfg}
+	base := Codec{
+		Name:              "base",
+		JavaRatio:         cfg.JavaRatio,
+		NativeRatio:       cfg.NativeRatio,
+		CompressLatency:   cfg.CompressLatency,
+		DecompressLatency: cfg.DecompressLatency,
+	}
+	return &Zram{
+		cfg:         cfg,
+		codecs:      []Codec{base},
+		codecRefs:   map[string]CodecRef{base.Name: 0},
+		storesByRef: []uint64{0},
+	}
+}
+
+// SetCodecFn installs a per-page codec selector. Schemes (Ariadne) call
+// this at attach time; nil restores the base-config behaviour for pages
+// stored from then on (already-stored pages keep their codec).
+func (z *Zram) SetCodecFn(fn CodecFn) { z.codecFn = fn }
+
+// selectRef resolves the codec for a page about to be stored, interning
+// first-seen codecs. Latencies of codecs arriving through the CodecFn
+// are scaled by Config.LatencyScale (device CPU factor); the base entry
+// is pre-scaled by the device profile and is never touched.
+func (z *Zram) selectRef(info PageInfo) CodecRef {
+	if z.codecFn == nil {
+		return 0
+	}
+	c := z.codecFn(info)
+	if ref, ok := z.codecRefs[c.Name]; ok {
+		return ref
+	}
+	if c.JavaRatio <= 1 || c.NativeRatio <= 1 {
+		panic(fmt.Sprintf("zram: codec %q ratios must exceed 1", c.Name))
+	}
+	if len(z.codecs) > int(^CodecRef(0)) {
+		panic("zram: codec table overflow")
+	}
+	scale := z.cfg.LatencyScale
+	if scale == 0 {
+		scale = 1
+	}
+	c.CompressLatency = sim.Time(float64(c.CompressLatency) * scale)
+	c.DecompressLatency = sim.Time(float64(c.DecompressLatency) * scale)
+	ref := CodecRef(len(z.codecs))
+	z.codecs = append(z.codecs, c)
+	z.storesByRef = append(z.storesByRef, 0)
+	z.codecRefs[c.Name] = ref
+	return ref
+}
+
+// StoresByCodec reports lifetime stores per codec name (tests and the
+// policy-sweep tables; the "base" entry is the no-CodecFn path).
+func (z *Zram) StoresByCodec() map[string]uint64 {
+	out := make(map[string]uint64, len(z.codecs))
+	for i, c := range z.codecs {
+		out[c.Name] = z.storesByRef[i]
+	}
+	return out
 }
 
 // Instrument registers the partition's instruments on reg. The
@@ -122,30 +218,28 @@ func (z *Zram) FootprintPages() int {
 // Full reports whether another page can be accepted.
 func (z *Zram) Full() bool { return z.stored >= z.cfg.CapacityPages }
 
-func (z *Zram) ratio(java bool) float64 {
-	if java {
-		return z.cfg.JavaRatio
-	}
-	return z.cfg.NativeRatio
-}
-
-// Store compresses one page into the partition. It returns the CPU cost to
-// charge the reclaimer and ok=false if the partition is full (the page then
-// cannot be reclaimed to ZRAM).
-func (z *Zram) Store(java bool) (cost sim.Time, ok bool) {
+// Store compresses one page into the partition with the codec the
+// installed CodecFn picks (the base config without one). It returns the
+// CPU cost to charge the reclaimer, the codec reference the caller must
+// keep in the page's swap entry, and ok=false if the partition is full
+// (the page then cannot be reclaimed to ZRAM).
+func (z *Zram) Store(info PageInfo) (cost sim.Time, ref CodecRef, ok bool) {
 	if z.Full() {
 		z.stats.RejectedFull++
 		z.rejectedCtr.Inc()
-		return 0, false
+		return 0, 0, false
 	}
+	ref = z.selectRef(info)
+	c := &z.codecs[ref]
 	z.stored++
-	z.compressedPages += 1 / z.ratio(java)
+	z.compressedPages += 1 / c.ratio(info.Java)
+	z.storesByRef[ref]++
 	z.stats.StoredTotal++
-	z.stats.CompressTime += z.cfg.CompressLatency
+	z.stats.CompressTime += c.CompressLatency
 	z.storedCtr.Inc()
-	z.compressUs.Observe(int64(z.cfg.CompressLatency))
+	z.compressUs.Observe(int64(c.CompressLatency))
 	z.noteLevels()
-	return z.cfg.CompressLatency, true
+	return c.CompressLatency, ref, true
 }
 
 // noteLevels refreshes the occupancy gauges after any mutation.
@@ -154,34 +248,40 @@ func (z *Zram) noteLevels() {
 	z.footGauge.Set(int64(z.FootprintPages()))
 }
 
-// Load decompresses one page out of the partition (a refault) and frees its
-// slot. It returns the CPU stall to charge the faulting task.
-func (z *Zram) Load(java bool) sim.Time {
+// Load decompresses one page out of the partition (a refault) and frees
+// its slot. ref must be the reference Store returned for the page. It
+// returns the CPU stall to charge the faulting task.
+func (z *Zram) Load(ref CodecRef, info PageInfo) sim.Time {
 	if z.stored <= 0 {
 		panic("zram: Load on empty partition")
 	}
+	c := &z.codecs[ref]
 	z.stored--
-	z.compressedPages -= 1 / z.ratio(java)
-	if z.compressedPages < 0 {
+	z.compressedPages -= 1 / c.ratio(info.Java)
+	if z.compressedPages < 0 || z.stored == 0 {
 		z.compressedPages = 0
 	}
 	z.stats.LoadedTotal++
-	z.stats.DecompressTime += z.cfg.DecompressLatency
+	z.stats.DecompressTime += c.DecompressLatency
 	z.loadedCtr.Inc()
-	z.decompressUs.Observe(int64(z.cfg.DecompressLatency))
+	z.decompressUs.Observe(int64(c.DecompressLatency))
 	z.noteLevels()
-	return z.cfg.DecompressLatency
+	return c.DecompressLatency
 }
 
 // Drop discards one stored page without decompressing it (the owning
-// process died and its swap slots are freed).
-func (z *Zram) Drop(java bool) {
+// process died and its swap slots are freed). ref must be the reference
+// Store returned for the page.
+func (z *Zram) Drop(ref CodecRef, info PageInfo) {
 	if z.stored <= 0 {
 		panic("zram: Drop on empty partition")
 	}
+	c := &z.codecs[ref]
 	z.stored--
-	z.compressedPages -= 1 / z.ratio(java)
-	if z.compressedPages < 0 {
+	z.compressedPages -= 1 / c.ratio(info.Java)
+	if z.compressedPages < 0 || z.stored == 0 {
+		// An empty store occupies nothing; snapping here also stops
+		// float residue from accumulating across drain cycles.
 		z.compressedPages = 0
 	}
 	z.noteLevels()

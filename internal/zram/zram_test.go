@@ -7,14 +7,14 @@ import (
 
 func TestStoreLoadRoundTrip(t *testing.T) {
 	z := New(DefaultConfig(100))
-	cost, ok := z.Store(true)
+	cost, _, ok := z.Store(PageInfo{Java: true})
 	if !ok || cost <= 0 {
 		t.Fatalf("Store failed: cost=%v ok=%v", cost, ok)
 	}
 	if z.Stored() != 1 {
 		t.Fatalf("Stored = %d", z.Stored())
 	}
-	stall := z.Load(true)
+	stall := z.Load(0, PageInfo{Java: true})
 	if stall <= 0 {
 		t.Fatal("Load returned zero stall")
 	}
@@ -26,14 +26,14 @@ func TestStoreLoadRoundTrip(t *testing.T) {
 func TestCapacityEnforced(t *testing.T) {
 	z := New(DefaultConfig(3))
 	for i := 0; i < 3; i++ {
-		if _, ok := z.Store(false); !ok {
+		if _, _, ok := z.Store(PageInfo{Java: false}); !ok {
 			t.Fatalf("Store %d rejected below capacity", i)
 		}
 	}
 	if !z.Full() {
 		t.Fatal("partition should be full")
 	}
-	if _, ok := z.Store(false); ok {
+	if _, _, ok := z.Store(PageInfo{Java: false}); ok {
 		t.Fatal("Store accepted beyond capacity")
 	}
 	if z.Stats().RejectedFull != 1 {
@@ -45,7 +45,7 @@ func TestCompressionFootprint(t *testing.T) {
 	cfg := DefaultConfig(1000)
 	z := New(cfg)
 	for i := 0; i < 100; i++ {
-		z.Store(true) // java, ratio 2.8
+		z.Store(PageInfo{Java: true}) // java, ratio 2.8
 	}
 	// 100 pages at ratio 2.8 occupy ~36 physical pages.
 	fp := z.FootprintPages()
@@ -58,8 +58,8 @@ func TestNativeCompressesWorseThanJava(t *testing.T) {
 	zj := New(DefaultConfig(1000))
 	zn := New(DefaultConfig(1000))
 	for i := 0; i < 50; i++ {
-		zj.Store(true)
-		zn.Store(false)
+		zj.Store(PageInfo{Java: true})
+		zn.Store(PageInfo{Java: false})
 	}
 	if zn.FootprintPages() <= zj.FootprintPages() {
 		t.Fatal("native pages should compress worse than java pages")
@@ -68,8 +68,8 @@ func TestNativeCompressesWorseThanJava(t *testing.T) {
 
 func TestDropFreesWithoutDecompression(t *testing.T) {
 	z := New(DefaultConfig(10))
-	z.Store(true)
-	z.Drop(true)
+	z.Store(PageInfo{Java: true})
+	z.Drop(0, PageInfo{Java: true})
 	if z.Stored() != 0 {
 		t.Fatal("Drop did not free")
 	}
@@ -87,7 +87,7 @@ func TestLoadEmptyPanics(t *testing.T) {
 			t.Fatal("Load on empty did not panic")
 		}
 	}()
-	New(DefaultConfig(10)).Load(true)
+	New(DefaultConfig(10)).Load(0, PageInfo{Java: true})
 }
 
 func TestInvalidConfigPanics(t *testing.T) {
@@ -102,10 +102,10 @@ func TestInvalidConfigPanics(t *testing.T) {
 func TestStatsTotals(t *testing.T) {
 	z := New(DefaultConfig(100))
 	for i := 0; i < 10; i++ {
-		z.Store(i%2 == 0)
+		z.Store(PageInfo{Java: i%2 == 0})
 	}
 	for i := 0; i < 4; i++ {
-		z.Load(i%2 == 0)
+		z.Load(0, PageInfo{Java: i%2 == 0})
 	}
 	st := z.Stats()
 	if st.StoredTotal != 10 || st.LoadedTotal != 4 {
@@ -134,19 +134,19 @@ func TestOccupancyInvariant(t *testing.T) {
 			java := op&1 == 0
 			switch op % 3 {
 			case 0:
-				if _, ok := z.Store(java); ok {
+				if _, _, ok := z.Store(PageInfo{Java: java}); ok {
 					logical++
 					kinds = append(kinds, java)
 				}
 			case 1:
 				if len(kinds) > 0 {
-					z.Load(kinds[len(kinds)-1])
+					z.Load(0, PageInfo{Java: kinds[len(kinds)-1]})
 					kinds = kinds[:len(kinds)-1]
 					logical--
 				}
 			case 2:
 				if len(kinds) > 0 {
-					z.Drop(kinds[len(kinds)-1])
+					z.Drop(0, PageInfo{Java: kinds[len(kinds)-1]})
 					kinds = kinds[:len(kinds)-1]
 					logical--
 				}
