@@ -8,6 +8,7 @@ import (
 	"github.com/eurosys23/ice/internal/device"
 	"github.com/eurosys23/ice/internal/experiments"
 	"github.com/eurosys23/ice/internal/harness"
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/policy"
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/workload"
@@ -25,17 +26,23 @@ import (
 // (Workers 1, so ns/op measures the simulation, not the host's core
 // count) and reports harness cell throughput plus per-cell allocation
 // pressure via b.ReportMetric. allocs/cell is the heap-allocation count
-// (runtime.MemStats.Mallocs delta) divided by completed cells — the
-// metric ci.sh snapshots into BENCH_<n>.json per PR.
+// (runtime.MemStats.Mallocs delta) divided by completed cells, and
+// p50_cell_us/p99_cell_us are per-cell wall-clock latency percentiles
+// (log2-bucket upper edges) — the metrics ci.sh snapshots into
+// BENCH_<n>.json per PR.
 func benchExperiment(b *testing.B, run func(experiments.Options) error) {
 	var cells atomic.Int64
+	cellUs := &obs.Histogram{} // Progress calls are serialised by the harness
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o := experiments.Options{
 			Fast: true, Rounds: 1, Seed: int64(i + 1), Workers: 1,
-			Progress: func(harness.Progress) { cells.Add(1) },
+			Progress: func(p harness.Progress) {
+				cells.Add(1)
+				cellUs.Observe(p.CellTime.Microseconds())
+			},
 		}
 		if err := run(o); err != nil {
 			b.Fatal(err)
@@ -49,6 +56,10 @@ func benchExperiment(b *testing.B, run func(experiments.Options) error) {
 	}
 	if n := cells.Load(); n > 0 {
 		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(n), "allocs/cell")
+	}
+	if cellUs.Count() > 0 {
+		b.ReportMetric(float64(cellUs.Percentile(50)), "p50_cell_us")
+		b.ReportMetric(float64(cellUs.Percentile(99)), "p99_cell_us")
 	}
 }
 

@@ -4,16 +4,19 @@
 #   under the race detector (the harness worker pool must stay
 #   race-free at any -workers setting), a flake guard re-running the
 #   concurrency-heavy packages, a one-iteration benchmark smoke pass
-#   (benchmarks must at least run; their cells/sec and allocs/cell
-#   metrics are written to BENCH_6.json), a golden-file check on the
-#   Perfetto trace exporter, the scheme byte-identity goldens (every
-#   registered policy scheme's fixed-seed result hash),
-#   an icesimd smoke test (boot with a state dir,
-#   health check, one cached job round-trip, SIGTERM drain, then a
+#   (benchmarks must at least run; their cells/sec, allocs/cell and
+#   p50/p99 per-cell latency metrics are written to BENCH_7.json), a
+#   golden-file check on the Perfetto trace exporter, the scheme
+#   byte-identity goldens (every registered policy scheme's fixed-seed
+#   result hash), an icesimd smoke test (boot with a state dir,
+#   health check, one cached job round-trip, the Prometheus exposition
+#   on /metrics in both negotiated forms, SIGTERM drain, then a
 #   restart on the same state dir that must serve the job
 #   byte-identical from the persistent result store), and a multi-node
 #   smoke test (coordinator + two workers shard a job and must match
-#   the single-node bytes, including after one worker is SIGKILLed).
+#   the single-node bytes, including after one worker is SIGKILLed;
+#   /fleet/metrics must carry every peer's series under peer labels
+#   and flip the dead worker's ice_peer_up gauge to 0).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,29 +38,34 @@ go test -race ./...
 go test -race -count=2 -timeout 20m ./internal/harness/ ./internal/service/
 
 # Benchmarks stay runnable: one iteration each, no timing claims — and
-# their cells/sec + allocs/cell metrics are snapshotted into BENCH_6.json
-# so the perf trajectory the ROADMAP asks for accumulates one file per PR.
+# their cells/sec + allocs/cell + per-cell latency percentile metrics
+# are snapshotted into BENCH_7.json so the perf trajectory the ROADMAP
+# asks for accumulates one file per PR.
 benchout=$(mktemp)
 go test -run='^$' -bench=. -benchtime=1x ./... | tee "$benchout"
 awk '
 BEGIN { print "[" }
 /^Benchmark/ {
     name=$1; sub(/-[0-9]+$/, "", name)
-    cells=""; allocs=""
+    cells=""; allocs=""; p50=""; p99=""
     for (i = 2; i <= NF; i++) {
         if ($i == "cells/sec")   cells = $(i-1)
         if ($i == "allocs/cell") allocs = $(i-1)
+        if ($i == "p50_cell_us") p50 = $(i-1)
+        if ($i == "p99_cell_us") p99 = $(i-1)
     }
     if (cells != "") {
         if (n++) printf ",\n"
-        printf "  {\"bench\": \"%s\", \"cells_per_sec\": %s, \"allocs_per_cell\": %s}", \
-            name, cells, (allocs == "" ? "null" : allocs)
+        printf "  {\"bench\": \"%s\", \"cells_per_sec\": %s, \"allocs_per_cell\": %s, \"p50_cell_us\": %s, \"p99_cell_us\": %s}", \
+            name, cells, (allocs == "" ? "null" : allocs), \
+            (p50 == "" ? "null" : p50), (p99 == "" ? "null" : p99)
     }
 }
 END { print "\n]" }
-' "$benchout" > BENCH_6.json
+' "$benchout" > BENCH_7.json
 rm -f "$benchout"
-grep -q cells_per_sec BENCH_6.json || { echo "BENCH_6.json has no bench rows" >&2; exit 1; }
+grep -q cells_per_sec BENCH_7.json || { echo "BENCH_7.json has no bench rows" >&2; exit 1; }
+grep -q p99_cell_us BENCH_7.json || { echo "BENCH_7.json has no per-cell latency column" >&2; exit 1; }
 
 # The Perfetto exporter's output is pinned byte-for-byte; a drift means
 # the golden file needs a deliberate `go test ./internal/trace -update`.
@@ -109,6 +117,21 @@ curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true'
 curl -sf "http://$addr/jobs/job-2/result" >"$smokedir/r2"
 cmp -s "$smokedir/r1" "$smokedir/r2" || { echo "cached result not byte-identical" >&2; exit 1; }
 curl -sf "http://$addr/metrics" | grep -q 'service.cache.hits'
+curl -sf "http://$addr/healthz" | grep -q '"role": "node"'
+
+# Prometheus exposition: both negotiated forms must serve typed series,
+# and a completed job must have lit up the harness latency histogram
+# and the folded sim.* aggregation.
+curl -sf "http://$addr/metrics?format=prom" >"$smokedir/prom"
+curl -sf -H 'Accept: text/plain; version=0.0.4' "http://$addr/metrics" >"$smokedir/prom.accept"
+for f in "$smokedir/prom" "$smokedir/prom.accept"; do
+    grep -q '^# TYPE ice_service_cache_hits_total counter$' "$f" \
+        || { echo "exposition missing typed cache counter ($f)" >&2; cat "$f" >&2; exit 1; }
+    grep -q '^# TYPE ice_harness_cell_us histogram$' "$f" \
+        || { echo "exposition missing harness cell histogram ($f)" >&2; exit 1; }
+    grep -q '^ice_sim_mm_reclaim_pages_total' "$f" \
+        || { echo "exposition missing folded sim series ($f)" >&2; exit 1; }
+done
 
 kill -TERM "$daemon"
 wait "$daemon" || { echo "icesimd did not drain cleanly" >&2; cat "$smokedir/log" >&2; exit 1; }
@@ -152,6 +175,19 @@ for _ in $(seq 1 50); do
 done
 [ "$healthy" -eq 2 ] || { echo "coordinator admitted $healthy of 2 workers" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
 
+# Fleet scrape surface: the coordinator re-exposes both live workers'
+# series under peer labels with ice_peer_up 1 each.
+curl -sf "http://$coord/fleet/metrics" >"$smokedir/fleet"
+for w in "$w1" "$w2"; do
+    grep "^ice_peer_up{" "$smokedir/fleet" | grep "peer=\"$w\"" | grep -q ' 1$' \
+        || { echo "fleet scrape missing ice_peer_up 1 for $w" >&2; cat "$smokedir/fleet" >&2; exit 1; }
+    grep "^ice_service_cache_hits_total{peer=\"$w\"" "$smokedir/fleet" >/dev/null \
+        || { echo "fleet scrape missing $w's series" >&2; cat "$smokedir/fleet" >&2; exit 1; }
+done
+# Exactly one # TYPE line per family after the merge.
+[ "$(grep -c '^# TYPE ice_service_cache_hits_total ' "$smokedir/fleet")" -eq 1 ] \
+    || { echo "fleet scrape duplicated family headers" >&2; exit 1; }
+
 # A 2-axis experiment (bg-count × round), sharded vs single-node.
 specA='{"kind":"experiment","experiment":"table1","fast":true}'
 curl -sf -X POST "http://$w1/jobs" -d "$specA" >/dev/null
@@ -184,6 +220,14 @@ cmp -s "$smokedir/single2.trace" "$smokedir/sharded2.trace" \
     || { echo "trace changed after SIGKILLed worker" >&2; exit 1; }
 curl -sf "http://$coord/metrics" | grep 'service\.shard\.peer_failures' | awk '{ exit !($3 >= 1) }' \
     || { echo "dead-worker dispatch failure not counted" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+
+# The dead worker flatlines on the fleet surface — ice_peer_up 0, the
+# live worker still 1, and no scrape error.
+curl -sf "http://$coord/fleet/metrics" >"$smokedir/fleet2"
+grep "^ice_peer_up{" "$smokedir/fleet2" | grep "peer=\"$w2\"" | grep -q ' 0$' \
+    || { echo "SIGKILLed worker not reported as ice_peer_up 0" >&2; cat "$smokedir/fleet2" >&2; exit 1; }
+grep "^ice_peer_up{" "$smokedir/fleet2" | grep "peer=\"$w1\"" | grep -q ' 1$' \
+    || { echo "live worker lost its ice_peer_up 1" >&2; cat "$smokedir/fleet2" >&2; exit 1; }
 
 kill -TERM "$coordpid"
 wait "$coordpid" || { echo "coordinator did not drain cleanly" >&2; cat "$smokedir/coord.log" >&2; exit 1; }

@@ -33,6 +33,7 @@ import (
 
 	"github.com/eurosys23/ice/internal/experiments"
 	"github.com/eurosys23/ice/internal/harness"
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/policy"
 )
 
@@ -108,9 +109,11 @@ func main() {
 		}
 
 		var timings []cellTiming
+		cellUs := &obs.Histogram{}
 		opts := experiments.Options{
 			Fast: *fast, Rounds: *rounds, Seed: *seed, Workers: *workers,
 			Progress: func(p harness.Progress) {
+				cellUs.Observe(p.CellTime.Microseconds())
 				if *asJSON {
 					timings = append(timings, cellTiming{
 						Device: p.Cell.Device, Scheme: p.Cell.Scheme,
@@ -164,6 +167,14 @@ func main() {
 				"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
 				"cells":      timings,
 				"result":     data,
+			}
+			if cellUs.Count() > 0 {
+				obj["cell_us"] = map[string]interface{}{
+					"count": cellUs.Count(),
+					"p50":   cellUs.Percentile(50),
+					"p99":   cellUs.Percentile(99),
+					"max":   cellUs.Max(),
+				}
 			}
 			if err := enc.Encode(obj); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -49,6 +49,15 @@
 // out mid-job only costs wall-clock — its chunk re-runs locally
 // (-shard-timeout, -shard-retries). Peer health is re-probed every
 // -health-interval, so a restarted worker rejoins the rotation.
+//
+// Observability: GET /metrics speaks three formats — the legacy line
+// dump, ?format=json, and the Prometheus text exposition (?format=prom
+// or Accept: text/plain; version=0.0.4) with role/node const labels
+// (-role, -node). A coordinator additionally serves GET /fleet/metrics,
+// scraping every -peers worker and re-emitting its series under a peer
+// label with an ice_peer_up gauge per peer, so one Prometheus target
+// watches the whole fleet. See deploy/ for a ready-made
+// Prometheus + Grafana stack.
 package main
 
 import (
@@ -80,6 +89,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 
 		role           = flag.String("role", "node", "node role: node, or worker (serves POST /internal/cells)")
+		node           = flag.String("node", "", "node name for /healthz and the metrics node label (default: hostname)")
 		peersFlag      = flag.String("peers", "", "comma-separated worker host:port list; makes this node a sharding coordinator")
 		shardTimeout   = flag.Duration("shard-timeout", 5*time.Minute, "per-chunk dispatch timeout before local fallback")
 		shardRetries   = flag.Int("shard-retries", 1, "re-dispatch attempts on other peers before local fallback (0 = none)")
@@ -103,6 +113,12 @@ func main() {
 	if retries <= 0 {
 		retries = -1
 	}
+	// A node with peers coordinates the fleet; report that on /healthz
+	// and in the metrics role label without inventing a third -role.
+	reportedRole := *role
+	if reportedRole == "node" && len(peers) > 0 {
+		reportedRole = "coordinator"
+	}
 
 	mgr, err := service.OpenManager(service.Config{
 		MaxWorkers:         *workers,
@@ -116,6 +132,8 @@ func main() {
 		Peers:              peers,
 		ShardChunkTimeout:  *shardTimeout,
 		ShardRetries:       retries,
+		Role:               reportedRole,
+		Node:               *node,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

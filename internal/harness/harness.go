@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/eurosys23/ice/internal/obs"
 )
 
 // Cell is one point of a run matrix: the coordinates of a single
@@ -193,6 +195,13 @@ type ExecHooks struct {
 	// back to local execution, so the merged matrix is byte-identical
 	// to a fully local run at any plan.
 	Shard ShardPlanner
+	// ObsSink, when non-nil, receives the instrument-registry snapshot
+	// of every LOCALLY executed cell whose result implements
+	// obs.SnapshotProvider. Remote-injected chunks are excluded on
+	// purpose: the executing worker folds its own cells, so a fleet
+	// aggregation never double-counts a cell. Calls may be concurrent —
+	// the sink must synchronise.
+	ObsSink func(obs.Snapshot)
 }
 
 // Config tunes one harness run.
@@ -504,6 +513,11 @@ func runPool[T any](ctx context.Context, cfg Config, stamped []Cell, indices []i
 				c := stamped[indices[k]]
 				cellStart := time.Now()
 				cerr := runCell(c, &out[c.Index], fn)
+				if cerr == nil && cfg.ObsSink != nil {
+					if p, ok := any(out[c.Index]).(obs.SnapshotProvider); ok {
+						cfg.ObsSink(p.ObsSnapshot())
+					}
+				}
 				var sunk []byte
 				if cerr == nil && tr.sink != nil {
 					b, merr := json.Marshal(out[c.Index])

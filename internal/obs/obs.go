@@ -114,6 +114,24 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Absorb folds a snapshot sample of another histogram (same log2 bucket
+// layout) into h: buckets, count, sum and max all merge. The daemon uses
+// it to aggregate per-cell simulation histograms into fleet-visible
+// series without touching the cells' own registries.
+func (h *Histogram) Absorb(s HistSample) {
+	if h == nil {
+		return
+	}
+	for i, n := range s.Buckets {
+		h.buckets[i] += n
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -253,15 +271,19 @@ type GaugeSample struct {
 }
 
 // HistSample is one histogram in a snapshot. P50/P90/P99 resolve to
-// log2 bucket upper edges.
+// log2 bucket upper edges. Buckets carries the raw per-bucket counts
+// for exporters that need the full distribution (the Prometheus
+// exposition); it is excluded from JSON so snapshot payloads — job
+// results, the shard wire format — keep their established bytes.
 type HistSample struct {
-	Name  string `json:"name"`
-	Count uint64 `json:"count"`
-	Sum   int64  `json:"sum"`
-	Max   int64  `json:"max"`
-	P50   int64  `json:"p50"`
-	P90   int64  `json:"p90"`
-	P99   int64  `json:"p99"`
+	Name    string              `json:"name"`
+	Count   uint64              `json:"count"`
+	Sum     int64               `json:"sum"`
+	Max     int64               `json:"max"`
+	P50     int64               `json:"p50"`
+	P90     int64               `json:"p90"`
+	P99     int64               `json:"p99"`
+	Buckets [HistBuckets]uint64 `json:"-"`
 }
 
 // Snapshot is an immutable, name-sorted copy of a registry's state,
@@ -289,12 +311,21 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Hists = append(s.Hists, HistSample{
 			Name: name, Count: h.count, Sum: h.sum, Max: h.max,
 			P50: h.Percentile(50), P90: h.Percentile(90), P99: h.Percentile(99),
+			Buckets: h.buckets,
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
 	return s
+}
+
+// SnapshotProvider is implemented by cell result types that carry an
+// instrument-registry snapshot (workload.ScenarioResult). The harness
+// uses it to surface per-cell snapshots to an ExecHooks.ObsSink without
+// knowing the concrete result type.
+type SnapshotProvider interface {
+	ObsSnapshot() Snapshot
 }
 
 // Counter returns the value of the named counter in the snapshot

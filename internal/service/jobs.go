@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -82,6 +83,17 @@ type Config struct {
 	// dispatch tries before local fallback (0: default 1; negative:
 	// no retries).
 	ShardRetries int
+	// Role is the daemon's reported role ("node", "worker",
+	// "coordinator"); it surfaces in /healthz and as the exposition's
+	// role const label. Empty defaults to "node".
+	Role string
+	// Node is the daemon's node name for /healthz and the exposition's
+	// node const label. Empty defaults to the hostname.
+	Node string
+	// FleetScrapeTimeout bounds one peer scrape during GET
+	// /fleet/metrics (<=0: 3 seconds). A peer that misses the deadline
+	// reports ice_peer_up 0 instead of failing the fleet scrape.
+	FleetScrapeTimeout time.Duration
 }
 
 // StreamEvent is one NDJSON/SSE progress line. Terminal events carry
@@ -195,6 +207,30 @@ type Manager struct {
 	shardFallbackCtr    *obs.Counter
 	shardServedCtr      *obs.Counter
 	shardServedCellsCtr *obs.Counter
+	// Process-level series the registry cannot see from inside a
+	// simulation: uptime, Go runtime stats, GC pauses. Refreshed by
+	// sampleProcessLocked on every Metrics snapshot; lastNumGC tracks
+	// the PauseNs ring position between samples.
+	start          time.Time
+	uptimeGauge    *obs.Gauge
+	goroutineGauge *obs.Gauge
+	heapGauge      *obs.Gauge
+	gcCyclesCtr    *obs.Counter
+	gcPauseUs      *obs.Histogram
+	lastNumGC      uint32
+	// cellUs is the wall-clock latency distribution of locally executed
+	// cells (coordinator-local and worker-served alike).
+	cellUs *obs.Histogram
+	// httpRoutes holds per-endpoint instrument triples, created at mux
+	// wiring time (see server.go).
+	httpRoutes map[string]*routeInstruments
+}
+
+// routeInstruments is the per-endpoint HTTP middleware instrument set.
+type routeInstruments struct {
+	requests  *obs.Counter
+	errors    *obs.Counter
+	latencyUs *obs.Histogram
 }
 
 // NewManager builds a Manager with its own instrument registry. It
@@ -232,6 +268,19 @@ func OpenManager(cfg Config) (*Manager, error) {
 	case cfg.ShardRetries < 0:
 		cfg.ShardRetries = 0
 	}
+	if cfg.Role == "" {
+		cfg.Role = "node"
+	}
+	if cfg.Node == "" {
+		if host, err := os.Hostname(); err == nil {
+			cfg.Node = host
+		} else {
+			cfg.Node = "unknown"
+		}
+	}
+	if cfg.FleetScrapeTimeout <= 0 {
+		cfg.FleetScrapeTimeout = 3 * time.Second
+	}
 	reg := obs.NewRegistry()
 	m := &Manager{
 		cfg:             cfg,
@@ -252,6 +301,14 @@ func OpenManager(cfg Config) (*Manager, error) {
 		runningGauge:    reg.Gauge("service.jobs.running"),
 		queuedGauge:     reg.Gauge("service.jobs.queued"),
 		retainedGauge:   reg.Gauge("service.jobs.retained"),
+		start:           time.Now(),
+		uptimeGauge:     reg.Gauge("process.uptime_seconds"),
+		goroutineGauge:  reg.Gauge("process.goroutines"),
+		heapGauge:       reg.Gauge("process.heap_bytes"),
+		gcCyclesCtr:     reg.Counter("process.gc_cycles"),
+		gcPauseUs:       reg.Histogram("process.gc_pause_us"),
+		cellUs:          reg.Histogram("harness.cell_us"),
+		httpRoutes:      make(map[string]*routeInstruments),
 	}
 	if len(cfg.Peers) > 0 {
 		m.httpc = &http.Client{}
@@ -296,11 +353,34 @@ func OpenManager(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// Metrics snapshots the service instrument registry.
+// Metrics snapshots the service instrument registry, refreshing the
+// process-level series first so every scrape sees current runtime
+// state.
 func (m *Manager) Metrics() obs.Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.sampleProcessLocked()
 	return m.reg.Snapshot()
+}
+
+// foldSim aggregates one locally executed cell's instrument snapshot
+// into the service registry under the "sim." prefix: counters add,
+// gauges take the latest cell's level, histograms merge bucket-exact.
+// The harness calls it (via ExecHooks.ObsSink) only for cells this
+// process executed, so a fleet aggregation over coordinator and workers
+// never counts a cell twice.
+func (m *Manager) foldSim(snap obs.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range snap.Counters {
+		m.reg.Counter("sim." + c.Name).Add(c.Value)
+	}
+	for _, g := range snap.Gauges {
+		m.reg.Gauge("sim." + g.Name).Set(g.Value)
+	}
+	for _, h := range snap.Hists {
+		m.reg.Histogram("sim." + h.Name).Absorb(h)
+	}
 }
 
 // Submit validates and enqueues a job. A cache hit returns a job that
@@ -419,7 +499,7 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	// contiguous chunks of the matrix to healthy workers and the
 	// harness merges their payloads in matrix order, so the result is
 	// byte-identical to a single-node run (failed chunks re-run here).
-	hooks := harness.ExecHooks{Shard: m.shardPlanner(j.spec)}
+	hooks := harness.ExecHooks{Shard: m.shardPlanner(j.spec), ObsSink: m.foldSim}
 	result, traceJSON, err := execute(ctx, j.spec, m.slots, func(p harness.Progress) {
 		m.publish(j, p)
 	}, hooks)
@@ -433,6 +513,11 @@ func (m *Manager) publish(j *job, p harness.Progress) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.progress = p
+	// CellTime is zero for remote-injected cells; the executing worker
+	// records those into its own harness.cell_us.
+	if p.CellTime > 0 {
+		m.cellUs.Observe(p.CellTime.Microseconds())
+	}
 	ev := StreamEvent{
 		Job: j.id, State: j.state,
 		Completed: p.Completed, Total: p.Total, FailedCells: p.Failed,

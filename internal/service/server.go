@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/eurosys23/ice/internal/experiments"
+	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/policy"
 )
 
@@ -25,16 +27,34 @@ import (
 //	                        client sends Accept: text/event-stream
 //	GET  /jobs/{id}/result  terminal job's result payload (JSON)
 //	GET  /jobs/{id}/trace   terminal job's Perfetto trace-event JSON
+//	GET  /fleet/metrics     fleet-wide exposition: self + every -peers
+//	                        worker re-labelled per peer (see fleet.go)
 //	POST /internal/cells    execute a cell range for a coordinator
 //	                        (worker nodes only; see shard.go)
+//
+// Every route runs behind a metrics middleware that records
+// service.http.{requests,errors,latency_us}.<route>.
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	// handle wires one route through the HTTP metrics middleware. The
+	// route id is a stable label value; the mux pattern is not (its
+	// wildcards read poorly in label values).
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		ri := m.routeInstrumentsFor(route)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			start := time.Now()
+			h(sw, r)
+			m.noteHTTP(ri, sw.status, time.Since(start))
+		})
+	}
+
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Health())
 	})
 
-	mux.HandleFunc("GET /experiments", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /experiments", "experiments", func(w http.ResponseWriter, r *http.Request) {
 		type entry struct {
 			ID   string `json:"id"`
 			Desc string `json:"desc"`
@@ -47,7 +67,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /schemes", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /schemes", "schemes", func(w http.ResponseWriter, r *http.Request) {
 		type entry struct {
 			Name     string   `json:"name"`
 			Aliases  []string `json:"aliases,omitempty"`
@@ -65,17 +85,43 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		snap := m.Metrics()
-		if r.URL.Query().Get("format") == "json" {
-			writeJSON(w, http.StatusOK, snap)
-			return
+	// Content negotiation: ?format=json keeps the structured snapshot,
+	// ?format=prom (or a Prometheus scraper's Accept header) selects the
+	// text exposition, anything else keeps the legacy line dump.
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		format := r.URL.Query().Get("format")
+		switch {
+		case format == "json":
+			writeJSON(w, http.StatusOK, m.Metrics())
+		case format == "prom" || strings.Contains(r.Header.Get("Accept"), "version=0.0.4"):
+			text, err := m.PromMetrics()
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			w.Header().Set("Content-Type", obs.PromContentType)
+			w.Write(text)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			m.Metrics().WriteTo(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		snap.WriteTo(w)
 	})
 
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /fleet/metrics", "fleet_metrics", func(w http.ResponseWriter, r *http.Request) {
+		if len(m.peers) == 0 {
+			writeErr(w, http.StatusNotFound, errors.New("not a coordinator (start icesimd with -peers)"))
+			return
+		}
+		text, err := m.FleetMetrics(r.Context())
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.Write(text)
+	})
+
+	handle("POST /jobs", "jobs_submit", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -101,11 +147,11 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusAccepted, view)
 	})
 
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs", "jobs_list", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List())
 	})
 
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}", "jobs_get", func(w http.ResponseWriter, r *http.Request) {
 		view, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
@@ -114,7 +160,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, view)
 	})
 
-	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /jobs/{id}/cancel", "jobs_cancel", func(w http.ResponseWriter, r *http.Request) {
 		requested, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
@@ -123,7 +169,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]bool{"cancel_requested": requested})
 	})
 
-	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}/result", "jobs_result", func(w http.ResponseWriter, r *http.Request) {
 		payload, state, err := m.Result(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
@@ -141,7 +187,7 @@ func NewServer(m *Manager) http.Handler {
 		w.Write(payload)
 	})
 
-	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}/trace", "jobs_trace", func(w http.ResponseWriter, r *http.Request) {
 		payload, state, err := m.Trace(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)
@@ -163,7 +209,7 @@ func NewServer(m *Manager) http.Handler {
 	// Worker half of the sharding protocol (see shard.go): execute a
 	// coordinator-assigned cell range. Gated on Config.WorkerEndpoint
 	// so a plain node never runs foreign cell ranges by accident.
-	mux.HandleFunc("POST "+internalCellsPath, func(w http.ResponseWriter, r *http.Request) {
+	handle("POST "+internalCellsPath, "internal_cells", func(w http.ResponseWriter, r *http.Request) {
 		if !m.cfg.WorkerEndpoint {
 			writeErr(w, http.StatusForbidden, errors.New("not a worker node (start icesimd with -role worker)"))
 			return
@@ -200,7 +246,7 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	mux.HandleFunc("GET /jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}/stream", "jobs_stream", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		events, cancelSub, err := m.Subscribe(id)
 		if err != nil {
@@ -271,6 +317,47 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	return mux
+}
+
+// statusWriter captures the response status for the metrics middleware
+// while passing Flush through so streaming routes keep flushing.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// HealthView is the GET /healthz payload: enough identity for a fleet
+// scraper or dashboard to label this node without out-of-band config.
+type HealthView struct {
+	OK            bool   `json:"ok"`
+	Role          string `json:"role"`
+	Node          string `json:"node"`
+	Version       string `json:"version"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Peers         int    `json:"peers"`
+}
+
+// Health reports the daemon's identity and liveness.
+func (m *Manager) Health() HealthView {
+	return HealthView{
+		OK:            true,
+		Role:          m.cfg.Role,
+		Node:          m.cfg.Node,
+		Version:       codeVersion(),
+		UptimeSeconds: int64(time.Since(m.start).Seconds()),
+		Peers:         len(m.cfg.Peers),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -290,8 +290,20 @@ func (m *Manager) ExecCellRange(ctx context.Context, spec JobSpec, from, to int)
 				got++
 			}
 		},
+		// Cells served for a coordinator fold into this worker's own
+		// sim.* series, keeping fleet aggregation double-count free.
+		ObsSink: m.foldSim,
 	}
-	if _, _, err := execute(ctx, spec, m.slots, nil, hooks); err != nil && !errors.Is(err, harness.ErrRangePartial) {
+	// The progress callback records the served cells' wall-clock latency
+	// into harness.cell_us — the same series coordinator-local cells use.
+	progress := func(p harness.Progress) {
+		if p.CellTime > 0 {
+			m.mu.Lock()
+			m.cellUs.Observe(p.CellTime.Microseconds())
+			m.mu.Unlock()
+		}
+	}
+	if _, _, err := execute(ctx, spec, m.slots, progress, hooks); err != nil && !errors.Is(err, harness.ErrRangePartial) {
 		return nil, err
 	}
 	if got != to-from {

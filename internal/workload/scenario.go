@@ -123,6 +123,11 @@ type ScenarioResult struct {
 	Obs obs.Snapshot
 }
 
+// ObsSnapshot implements obs.SnapshotProvider, letting the harness
+// surface the per-cell registry snapshot to an ExecHooks.ObsSink (the
+// daemon aggregates them into its fleet-visible sim.* series).
+func (r ScenarioResult) ObsSnapshot() obs.Snapshot { return r.Obs }
+
 // launchTimeout bounds how long the driver waits for one launch sequence.
 const launchTimeout = 120 * sim.Second
 

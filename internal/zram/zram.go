@@ -95,13 +95,19 @@ type Zram struct {
 	// base Config parameters for everything (ref 0).
 	codecFn CodecFn
 	// codecs is the interned codec table indexed by CodecRef; entry 0 is
-	// the base Config. storesByRef counts lifetime stores per entry.
+	// the base Config. storesByRef counts lifetime stores per entry;
+	// storeCtrs is the parallel per-codec "zram.stores.<name>" counter
+	// table (nil entries until Instrument is called).
 	codecs      []Codec
 	codecRefs   map[string]CodecRef
 	storesByRef []uint64
+	storeCtrs   []*obs.Counter
 
 	stats Stats
 
+	// reg is kept so codecs interned after Instrument get their
+	// per-codec store counter too (nil for uninstrumented partitions).
+	reg          *obs.Registry
 	storedCtr    *obs.Counter
 	loadedCtr    *obs.Counter
 	rejectedCtr  *obs.Counter
@@ -131,6 +137,7 @@ func New(cfg Config) *Zram {
 		codecs:      []Codec{base},
 		codecRefs:   map[string]CodecRef{base.Name: 0},
 		storesByRef: []uint64{0},
+		storeCtrs:   []*obs.Counter{nil},
 	}
 }
 
@@ -166,6 +173,7 @@ func (z *Zram) selectRef(info PageInfo) CodecRef {
 	ref := CodecRef(len(z.codecs))
 	z.codecs = append(z.codecs, c)
 	z.storesByRef = append(z.storesByRef, 0)
+	z.storeCtrs = append(z.storeCtrs, z.reg.Counter("zram.stores."+c.Name))
 	z.codecRefs[c.Name] = ref
 	return ref
 }
@@ -184,6 +192,7 @@ func (z *Zram) StoresByCodec() map[string]uint64 {
 // constructor has no engine handle, so the owning system calls this once
 // at wiring time; an uninstrumented Zram (unit tests) records nothing.
 func (z *Zram) Instrument(reg *obs.Registry) {
+	z.reg = reg
 	z.storedCtr = reg.Counter("zram.stored.pages")
 	z.loadedCtr = reg.Counter("zram.loaded.pages")
 	z.rejectedCtr = reg.Counter("zram.rejected.full")
@@ -191,6 +200,11 @@ func (z *Zram) Instrument(reg *obs.Registry) {
 	z.footGauge = reg.Gauge("zram.footprint_pages")
 	z.compressUs = reg.Histogram("zram.compress_us")
 	z.decompressUs = reg.Histogram("zram.decompress_us")
+	// Backfill per-codec store counters for codecs interned before
+	// instrumentation (entry 0, the base config, always exists).
+	for i := range z.codecs {
+		z.storeCtrs[i] = reg.Counter("zram.stores." + z.codecs[i].Name)
+	}
 }
 
 // Config returns the partition configuration.
@@ -234,6 +248,7 @@ func (z *Zram) Store(info PageInfo) (cost sim.Time, ref CodecRef, ok bool) {
 	z.stored++
 	z.compressedPages += 1 / c.ratio(info.Java)
 	z.storesByRef[ref]++
+	z.storeCtrs[ref].Inc()
 	z.stats.StoredTotal++
 	z.stats.CompressTime += c.CompressLatency
 	z.storedCtr.Inc()
