@@ -5,7 +5,7 @@
 #   race-free at any -workers setting), a flake guard re-running the
 #   concurrency-heavy packages, a one-iteration benchmark smoke pass
 #   (benchmarks must at least run; their cells/sec, allocs/cell and
-#   p50/p99 per-cell latency metrics are written to BENCH_7.json), a
+#   p50/p99 per-cell latency metrics are written to BENCH_8.json), a
 #   golden-file check on the Perfetto trace exporter, the scheme
 #   byte-identity goldens (every registered policy scheme's fixed-seed
 #   result hash), an icesimd smoke test (boot with a state dir,
@@ -16,7 +16,10 @@
 #   smoke test (coordinator + two workers shard a job and must match
 #   the single-node bytes, including after one worker is SIGKILLed;
 #   /fleet/metrics must carry every peer's series under peer labels
-#   and flip the dead worker's ice_peer_up gauge to 0).
+#   and flip the dead worker's ice_peer_up gauge to 0), and an auth
+#   smoke test (a token-file daemon must 401 unauthenticated submits,
+#   round-trip an authenticated job, and 429 a submit that overruns the
+#   principal's max-queued quota — while health and metrics stay open).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,7 +42,7 @@ go test -race -count=2 -timeout 20m ./internal/harness/ ./internal/service/
 
 # Benchmarks stay runnable: one iteration each, no timing claims — and
 # their cells/sec + allocs/cell + per-cell latency percentile metrics
-# are snapshotted into BENCH_7.json so the perf trajectory the ROADMAP
+# are snapshotted into BENCH_8.json so the perf trajectory the ROADMAP
 # asks for accumulates one file per PR.
 benchout=$(mktemp)
 go test -run='^$' -bench=. -benchtime=1x ./... | tee "$benchout"
@@ -62,10 +65,10 @@ BEGIN { print "[" }
     }
 }
 END { print "\n]" }
-' "$benchout" > BENCH_7.json
+' "$benchout" > BENCH_8.json
 rm -f "$benchout"
-grep -q cells_per_sec BENCH_7.json || { echo "BENCH_7.json has no bench rows" >&2; exit 1; }
-grep -q p99_cell_us BENCH_7.json || { echo "BENCH_7.json has no per-cell latency column" >&2; exit 1; }
+grep -q cells_per_sec BENCH_8.json || { echo "BENCH_8.json has no bench rows" >&2; exit 1; }
+grep -q p99_cell_us BENCH_8.json || { echo "BENCH_8.json has no per-cell latency column" >&2; exit 1; }
 
 # The Perfetto exporter's output is pinned byte-for-byte; a drift means
 # the golden file needs a deliberate `go test ./internal/trace -update`.
@@ -234,5 +237,55 @@ wait "$coordpid" || { echo "coordinator did not drain cleanly" >&2; cat "$smoked
 kill -TERM "$w1pid"
 wait "$w1pid" || { echo "worker 1 did not drain cleanly" >&2; cat "$smokedir/w1.log" >&2; exit 1; }
 wait "$w2pid" 2>/dev/null || true  # SIGKILLed above
+
+# Auth smoke: a token-file daemon must reject unauthenticated and
+# wrong-token submits with 401 (health and metrics stay open), serve an
+# authenticated round-trip, and answer a submit that overruns the
+# principal's max-queued quota with 429.
+cat >"$smokedir/tokens" <<'EOF'
+tok-alice alice weight=4
+tok-bob   bob   weight=1 max-queued=1
+EOF
+boot_icesimd "$smokedir/auth.log" -auth-tokens "$smokedir/tokens" -max-jobs 1
+authpid=$daemon
+
+# status METHOD URL [CURL_ARGS...] — HTTP status code only.
+status() {
+    local method=$1 url=$2; shift 2
+    curl -s -o /dev/null -w '%{http_code}' -X "$method" "$@" "$url"
+}
+
+[ "$(status POST "http://$addr/jobs" -d "$spec")" = 401 ] \
+    || { echo "unauthenticated submit not rejected with 401" >&2; exit 1; }
+[ "$(status POST "http://$addr/jobs" -H 'Authorization: Bearer tok-wrong' -d "$spec")" = 401 ] \
+    || { echo "wrong-token submit not rejected with 401" >&2; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q true
+curl -sf "http://$addr/metrics" | grep -q 'service.tenant.auth_failures'
+
+# Authenticated round-trip: submit as alice, stream to completion, read
+# the result, and require the job view to carry the principal.
+curl -sf -X POST "http://$addr/jobs" -H 'Authorization: Bearer tok-alice' -d "$spec" \
+    | grep -q '"principal": "alice"'
+wait_done "http://$addr" job-1
+curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/auth.r1"
+cmp -s "$smokedir/r1" "$smokedir/auth.r1" \
+    || { echo "authenticated result differs from the open-daemon bytes" >&2; exit 1; }
+
+# Quota: with -max-jobs 1, bob's first long job runs, his second queues
+# (max-queued=1), and the third must bounce with 429.
+slow='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":12,"seed":31,"priority":"batch"}'
+slow2='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":12,"seed":37,"priority":"batch"}'
+slow3='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":12,"seed":41,"priority":"batch"}'
+[ "$(status POST "http://$addr/jobs" -H 'Authorization: Bearer tok-bob' -d "$slow")" = 202 ] \
+    || { echo "bob's first submit rejected" >&2; exit 1; }
+[ "$(status POST "http://$addr/jobs" -H 'Authorization: Bearer tok-bob' -d "$slow2")" = 202 ] \
+    || { echo "bob's second submit rejected" >&2; exit 1; }
+[ "$(status POST "http://$addr/jobs" -H 'Authorization: Bearer tok-bob' -d "$slow3")" = 429 ] \
+    || { echo "bob's over-quota submit not rejected with 429" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep 'service.tenant.rejected.bob' | grep -q ' 1$' \
+    || { echo "quota rejection not attributed to bob" >&2; curl -sf "http://$addr/metrics" >&2; exit 1; }
+
+kill -TERM "$authpid"
+wait "$authpid" || { echo "auth daemon did not drain cleanly" >&2; cat "$smokedir/auth.log" >&2; exit 1; }
 
 echo "ci.sh: all checks passed"

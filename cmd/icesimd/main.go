@@ -58,6 +58,19 @@
 // label with an ice_peer_up gauge per peer, so one Prometheus target
 // watches the whole fleet. See deploy/ for a ready-made
 // Prometheus + Grafana stack.
+//
+// Multi-tenancy: -auth-tokens names a static token file (one
+// "token principal key=value..." line per tenant; see internal/tenant)
+// that turns on bearer-token auth for the mutating routes — health and
+// metrics stay open for probes and scrapers. Each principal carries a
+// fair-scheduler weight and optional quotas (max-cells, max-queued,
+// cache-bytes), jobs queue per principal under deficit-round-robin
+// with interactive priority over batch ("priority" in the job spec),
+// and queued interactive work preempts running batch work at cell
+// boundaries — the preempted job resumes later with its completed
+// cells replayed, byte-identical. A coordinator authenticates to its
+// workers with -peer-token. Without -auth-tokens every caller is the
+// anonymous principal and the daemon behaves exactly as before.
 package main
 
 import (
@@ -74,6 +87,7 @@ import (
 	"time"
 
 	"github.com/eurosys23/ice/internal/service"
+	"github.com/eurosys23/ice/internal/tenant"
 )
 
 func main() {
@@ -85,8 +99,10 @@ func main() {
 		cacheEntries = flag.Int("cache", 0, "in-memory result-cache LRU entries (0 = 256)")
 		stateDir     = flag.String("state-dir", "", "persistent result-store directory (empty = in-memory only)")
 		cacheBytes   = flag.Int64("cache-bytes", 0, "disk store payload-byte budget (0 = 1 GiB; needs -state-dir)")
-		retainJobs   = flag.Int("retain-jobs", 0, "terminal jobs kept per state for /jobs (0 = 256)")
+		retainJobs   = flag.Int("retain-jobs", 0, "terminal jobs kept per principal and state for /jobs (0 = 256)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		authTokens   = flag.String("auth-tokens", "", "token file enabling bearer auth (token principal key=value... per line)")
+		peerToken    = flag.String("peer-token", "", "bearer token attached to outbound peer calls (shard dispatch, fleet scrape)")
 
 		role           = flag.String("role", "node", "node role: node, or worker (serves POST /internal/cells)")
 		node           = flag.String("node", "", "node name for /healthz and the metrics node label (default: hostname)")
@@ -119,6 +135,15 @@ func main() {
 	if reportedRole == "node" && len(peers) > 0 {
 		reportedRole = "coordinator"
 	}
+	var registry *tenant.Registry
+	if *authTokens != "" {
+		var err error
+		registry, err = tenant.LoadTokens(*authTokens)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icesimd: -auth-tokens: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	mgr, err := service.OpenManager(service.Config{
 		MaxWorkers:         *workers,
@@ -134,6 +159,8 @@ func main() {
 		ShardRetries:       retries,
 		Role:               reportedRole,
 		Node:               *node,
+		AuthTokens:         registry,
+		PeerToken:          *peerToken,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -202,6 +202,63 @@ type ExecHooks struct {
 	// aggregation never double-counts a cell. Calls may be concurrent —
 	// the sink must synchronise.
 	ObsSink func(obs.Snapshot)
+	// CellQuota, when non-nil, is a second execution budget alongside
+	// Config.Slots — the daemon uses it as a per-principal cap on cells
+	// in flight, shared by every concurrent run the same principal owns.
+	// Workers acquire it AFTER the global Slots budget (consistent
+	// acquisition order, so the two semaphores cannot deadlock) and
+	// before claiming a cell index, preserving the completed-prefix
+	// cancellation guarantee. Injected (remote/prefilled) cells consume
+	// no quota; the process that executes them accounts for them.
+	CellQuota chan struct{}
+}
+
+// Prefill builds a ShardPlanner that re-injects previously captured
+// cell payloads — the Sink output of an earlier, preempted run — so a
+// requeued job resumes instead of re-simulating its completed cells.
+// Contiguous runs of saved indices become RemoteChunks whose Exec
+// returns the saved bytes immediately; indices without a saved payload
+// execute normally. Because the saved bytes are exactly what Sink
+// captured (and what injectChunk would have merged from a remote
+// worker), the resumed run's merged matrix is byte-identical to an
+// uninterrupted run. next, when non-nil, plans the remaining indices
+// (its chunks lose ties against the prefill — overlapping chunks are
+// dropped by the planner and run locally).
+func Prefill(saved map[int][]byte, next ShardPlanner) ShardPlanner {
+	if len(saved) == 0 {
+		return next
+	}
+	return func(total int) []RemoteChunk {
+		idx := make([]int, 0, len(saved))
+		for i := range saved {
+			if i >= 0 && i < total {
+				idx = append(idx, i)
+			}
+		}
+		sort.Ints(idx)
+		var chunks []RemoteChunk
+		for k := 0; k < len(idx); {
+			from := idx[k]
+			to := from + 1
+			k++
+			for k < len(idx) && idx[k] == to {
+				to++
+				k++
+			}
+			payloads := make([][]byte, 0, to-from)
+			for i := from; i < to; i++ {
+				payloads = append(payloads, saved[i])
+			}
+			chunks = append(chunks, RemoteChunk{
+				Range: Range{From: from, To: to},
+				Exec:  func(context.Context) ([][]byte, error) { return payloads, nil },
+			})
+		}
+		if next != nil {
+			chunks = append(chunks, next(total)...)
+		}
+		return chunks
+	}
 }
 
 // Config tunes one harness run.
@@ -503,11 +560,30 @@ func runPool[T any](ctx context.Context, cfg Config, stamped []Cell, indices []i
 						return // abandoned: budget exhausted and run cancelled
 					}
 				}
-				k := int(next.Add(1)) - 1
-				if k >= len(indices) {
+				// The per-principal budget is acquired strictly after the
+				// global one: every holder of a CellQuota slot already holds
+				// a Slots slot, so the two semaphores cannot form a cycle.
+				if cfg.CellQuota != nil {
+					select {
+					case cfg.CellQuota <- struct{}{}:
+					case <-ctx.Done():
+						if cfg.Slots != nil {
+							<-cfg.Slots
+						}
+						return // abandoned before claiming anything
+					}
+				}
+				release := func() {
+					if cfg.CellQuota != nil {
+						<-cfg.CellQuota
+					}
 					if cfg.Slots != nil {
 						<-cfg.Slots
 					}
+				}
+				k := int(next.Add(1)) - 1
+				if k >= len(indices) {
+					release()
 					return
 				}
 				c := stamped[indices[k]]
@@ -527,9 +603,7 @@ func runPool[T any](ctx context.Context, cfg Config, stamped []Cell, indices []i
 					sunk = b
 				}
 				cellTime := time.Since(cellStart)
-				if cfg.Slots != nil {
-					<-cfg.Slots
-				}
+				release()
 				tr.complete(c, cellTime, cerr, sunk)
 			}
 		}()

@@ -125,45 +125,55 @@ var promHelp = map[string]string{
 	"ice.table_bytes":            "ICE metadata table footprint.",
 
 	// Daemon (icesimd) service series.
-	"service.jobs.submitted":            "Jobs submitted to the daemon.",
-	"service.jobs.completed":            "Jobs finished in state done.",
-	"service.jobs.failed":               "Jobs finished in state failed.",
-	"service.jobs.cancelled":            "Jobs finished in state cancelled.",
-	"service.jobs.running":              "Jobs simulating right now.",
-	"service.jobs.queued":               "Jobs waiting for a running slot.",
-	"service.jobs.retained":             "Terminal jobs retained for /jobs.",
-	"service.cache.hits":                "Result-cache memory hits.",
-	"service.cache.misses":              "Result-cache memory misses.",
-	"service.cache.evictions":           "Result-cache LRU evictions.",
-	"service.cache.entries":             "Result-cache entries resident.",
-	"service.store.disk_hits":           "Disk-store hits (verified and promoted).",
-	"service.store.disk_misses":         "Disk-store misses.",
-	"service.store.evictions":           "Disk-store byte-budget evictions.",
-	"service.store.corrupt_quarantined": "Disk entries quarantined as corrupt.",
-	"service.store.write_errors":        "Disk-store write failures.",
-	"service.store.oversize_skipped":    "Payloads larger than the whole byte budget.",
-	"service.store.loaded_at_boot":      "Entries indexed by the boot scan.",
-	"service.store.bytes":               "Disk-store payload bytes resident.",
-	"service.store.entries":             "Disk-store entries resident.",
-	"service.shard.dispatched":          "Cell chunks dispatched to peers.",
-	"service.shard.remote_cells":        "Cells executed remotely.",
-	"service.shard.retries":             "Chunk dispatches retried on another peer.",
-	"service.shard.peer_failures":       "Chunk dispatches that failed on a peer.",
-	"service.shard.fallback_local":      "Chunks that fell back to local execution.",
-	"service.shard.served":              "Cell-range requests served (worker).",
-	"service.shard.served_cells":        "Cells executed for coordinators (worker).",
-	"service.shard.peer_inflight":       "Chunks in flight to the peer.",
-	"service.shard.peer_healthy":        "Peer health (1 in rotation, 0 out).",
-	"service.http.requests":             "HTTP requests served, by route.",
-	"service.http.errors":               "HTTP responses with status >= 400, by route.",
-	"service.http.latency_us":           "HTTP request latency, by route.",
-	"harness.cell_us":                   "Wall-clock latency of locally executed simulation cells.",
-	"process.uptime_seconds":            "Daemon uptime.",
-	"process.goroutines":                "Goroutines live in the daemon process.",
-	"process.heap_bytes":                "Go heap bytes in use.",
-	"process.gc_cycles":                 "Garbage-collection cycles completed.",
-	"process.gc_pause_us":               "Stop-the-world GC pause duration.",
-	"peer_up":                           "Whether the last fleet scrape of the peer succeeded.",
+	"service.jobs.submitted":             "Jobs submitted to the daemon.",
+	"service.jobs.completed":             "Jobs finished in state done.",
+	"service.jobs.failed":                "Jobs finished in state failed.",
+	"service.jobs.cancelled":             "Jobs finished in state cancelled.",
+	"service.jobs.running":               "Jobs simulating right now.",
+	"service.jobs.queued":                "Jobs waiting for a running slot.",
+	"service.jobs.retained":              "Terminal jobs retained for /jobs.",
+	"service.cache.hits":                 "Result-cache memory hits.",
+	"service.cache.misses":               "Result-cache memory misses.",
+	"service.cache.evictions":            "Result-cache LRU evictions.",
+	"service.cache.entries":              "Result-cache entries resident.",
+	"service.store.disk_hits":            "Disk-store hits (verified and promoted).",
+	"service.store.disk_misses":          "Disk-store misses.",
+	"service.store.evictions":            "Disk-store byte-budget evictions.",
+	"service.store.corrupt_quarantined":  "Disk entries quarantined as corrupt.",
+	"service.store.write_errors":         "Disk-store write failures.",
+	"service.store.oversize_skipped":     "Payloads larger than the whole byte budget.",
+	"service.store.loaded_at_boot":       "Entries indexed by the boot scan.",
+	"service.store.bytes":                "Disk-store payload bytes resident.",
+	"service.store.entries":              "Disk-store entries resident.",
+	"service.shard.dispatched":           "Cell chunks dispatched to peers.",
+	"service.shard.remote_cells":         "Cells executed remotely.",
+	"service.shard.retries":              "Chunk dispatches retried on another peer.",
+	"service.shard.peer_failures":        "Chunk dispatches that failed on a peer.",
+	"service.shard.fallback_local":       "Chunks that fell back to local execution.",
+	"service.shard.served":               "Cell-range requests served (worker).",
+	"service.shard.served_cells":         "Cells executed for coordinators (worker).",
+	"service.shard.peer_inflight":        "Chunks in flight to the peer.",
+	"service.shard.peer_healthy":         "Peer health (1 in rotation, 0 out).",
+	"service.http.requests":              "HTTP requests served, by route.",
+	"service.http.errors":                "HTTP responses with status >= 400, by route.",
+	"service.http.latency_us":            "HTTP request latency, by route.",
+	"service.sched.preemptions":          "Running batch jobs preempted for interactive work.",
+	"service.sched.requeues":             "Preempted jobs requeued for resume.",
+	"service.tenant.auth_failures":       "Requests rejected for a missing or unknown bearer token.",
+	"service.tenant.cache_quota_skipped": "Results not persisted because the principal exceeded its cache-bytes quota.",
+	"service.tenant.submitted":           "Jobs submitted, by principal.",
+	"service.tenant.rejected":            "Submissions rejected by a queue bound or quota, by principal.",
+	"service.tenant.preempted":           "Times the principal's batch jobs were preempted.",
+	"service.tenant.queued_jobs":         "The principal's jobs waiting in the fair scheduler.",
+	"service.tenant.running_jobs":        "The principal's jobs simulating right now.",
+	"service.tenant.cache_bytes":         "Result-cache bytes attributed to the principal.",
+	"harness.cell_us":                    "Wall-clock latency of locally executed simulation cells.",
+	"process.uptime_seconds":             "Daemon uptime.",
+	"process.goroutines":                 "Goroutines live in the daemon process.",
+	"process.heap_bytes":                 "Go heap bytes in use.",
+	"process.gc_cycles":                  "Garbage-collection cycles completed.",
+	"process.gc_pause_us":                "Stop-the-world GC pause duration.",
+	"peer_up":                            "Whether the last fleet scrape of the peer succeeded.",
 }
 
 // SetPromHelp registers (or overrides) the HELP text for an instrument

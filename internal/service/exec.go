@@ -55,6 +55,11 @@ type ExperimentResult struct {
 // shard planner, a worker a cell range + sink, a single node the zero
 // value.
 func execute(ctx context.Context, spec JobSpec, slots chan struct{}, progress func(harness.Progress), hooks harness.ExecHooks) (result, traceJSON []byte, err error) {
+	// Priority decides when a job runs, never what it computes; strip
+	// it so the marshalled result (which embeds the spec) is
+	// byte-identical across scheduling classes — and to the
+	// pre-tenancy daemon's payloads.
+	spec.Priority = ""
 	switch spec.Kind {
 	case KindRun:
 		return executeRun(ctx, spec, slots, progress, hooks)

@@ -47,6 +47,7 @@ func (m *Manager) scrapePeer(ctx context.Context, addr string) ([]obs.PromFamily
 	if err != nil {
 		return nil, err
 	}
+	m.peerAuth(req)
 	resp, err := m.httpc.Do(req)
 	if err != nil {
 		return nil, err

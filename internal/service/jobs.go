@@ -12,6 +12,7 @@ import (
 
 	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/obs"
+	"github.com/eurosys23/ice/internal/tenant"
 )
 
 // Job states.
@@ -28,11 +29,16 @@ func terminal(state string) bool {
 	return state == StateDone || state == StateFailed || state == StateCancelled
 }
 
+// nowFunc is the manager's clock (a seam, not configuration).
+var nowFunc = time.Now
+
 // Sentinel errors the HTTP layer maps onto status codes.
 var (
-	ErrDraining  = errors.New("service: draining, not accepting jobs")
-	ErrQueueFull = errors.New("service: job queue full")
-	ErrNotFound  = errors.New("service: no such job")
+	ErrDraining      = errors.New("service: draining, not accepting jobs")
+	ErrQueueFull     = errors.New("service: job queue full")
+	ErrNotFound      = errors.New("service: no such job")
+	ErrQuotaExceeded = errors.New("service: principal queue quota exceeded")
+	ErrForbidden     = errors.New("service: job belongs to another principal")
 )
 
 // BadSpecError wraps a spec validation failure (HTTP 400).
@@ -64,9 +70,9 @@ type Config struct {
 	// Ignored without StateDir.
 	CacheBytes int64
 	// RetainTerminalJobs bounds how many terminal jobs are kept per
-	// state for Get/List/Result (<=0: 256). Older terminal jobs are
-	// pruned; their payloads stay reachable through the result cache
-	// and disk store by resubmitting the spec.
+	// principal and state for Get/List/Result (<=0: 256). Older
+	// terminal jobs are pruned; their payloads stay reachable through
+	// the result cache and disk store by resubmitting the spec.
 	RetainTerminalJobs int
 	// Peers lists other icesimd daemons ("host:port") this node may
 	// dispatch cell ranges to, making it a shard coordinator (see
@@ -94,6 +100,14 @@ type Config struct {
 	// /fleet/metrics (<=0: 3 seconds). A peer that misses the deadline
 	// reports ice_peer_up 0 instead of failing the fleet scrape.
 	FleetScrapeTimeout time.Duration
+	// AuthTokens is the principal registry (icesimd -auth-tokens). Nil
+	// (or empty) runs the daemon open: every caller is the anonymous
+	// principal and behaviour is identical to the pre-tenancy daemon.
+	AuthTokens *tenant.Registry
+	// PeerToken, when set, is attached as a bearer token to every
+	// outbound peer call (shard dispatch, fleet scrape) so workers
+	// running with -auth-tokens accept this coordinator.
+	PeerToken string
 }
 
 // StreamEvent is one NDJSON/SSE progress line. Terminal events carry
@@ -124,79 +138,104 @@ type JobView struct {
 	ElapsedMs   float64 `json:"elapsed_ms"`
 	Error       string  `json:"error,omitempty"`
 	HasTrace    bool    `json:"has_trace"`
+	Principal   string  `json:"principal,omitempty"`
+	Preemptions int     `json:"preemptions,omitempty"`
 	Spec        JobSpec `json:"spec"`
 }
 
 // job is the Manager-internal record. All mutable fields are guarded by
 // Manager.mu.
 type job struct {
-	id       string
-	spec     JobSpec
-	key      string
-	state    string
-	cached   bool
-	errMsg   string
-	started  time.Time
-	elapsed  time.Duration
-	progress harness.Progress
-	result   []byte
-	trace    []byte
-	cancel   context.CancelFunc
-	subs     map[int]chan StreamEvent
-	nextSub  int
-	done     chan struct{}
+	id        string
+	spec      JobSpec
+	key       string
+	principal string
+	class     int // scheduling class (classInteractive/classBatch)
+	cost      int // DRR cost (see jobCost)
+	state     string
+	cached    bool
+	errMsg    string
+	started   time.Time
+	elapsed   time.Duration // accumulated across preemption segments
+	progress  harness.Progress
+	result    []byte
+	trace     []byte
+	cancel    context.CancelFunc
+	// start is closed by the scheduler when the job is dispatched into
+	// a running slot; run blocks on it. Replaced on every requeue.
+	start chan struct{}
+	// partial holds completed cells' Sink payloads of a preemptible
+	// (batch) run, keyed by cell index, for Prefill on resume.
+	partial map[int][]byte
+	// preempted marks a running job the scheduler cancelled to free a
+	// slot; run requeues it instead of finishing. userCancel marks a
+	// caller-requested cancel, which always wins over requeue.
+	preempted   bool
+	userCancel  bool
+	preemptions int
+	subs        map[int]chan StreamEvent
+	nextSub     int
+	done        chan struct{}
 }
 
-// Manager owns the daemon's jobs: submission, queueing under a running-
-// jobs cap, execution under the global worker budget, cancellation,
-// progress fan-out, the two-tier result cache (in-memory LRU front,
-// optional byte-budgeted disk store), bounded terminal-job retention,
-// and graceful drain.
+// Manager owns the daemon's jobs: authenticated submission, weighted-
+// fair queueing across principals (see queue.go), execution under the
+// global worker budget and per-principal cell quotas, preemption of
+// batch work for interactive work, cancellation, progress fan-out, the
+// two-tier result cache (in-memory LRU front, optional byte-budgeted
+// disk store), bounded per-principal terminal-job retention, and
+// graceful drain.
 type Manager struct {
-	cfg      Config
-	slots    chan struct{} // global cell budget
-	jobSlots chan struct{} // running-jobs cap
-	peers    []*peer       // configured shard workers (see shard.go)
-	httpc    *http.Client  // shard dispatch + health probes
+	cfg   Config
+	slots chan struct{} // global cell budget
+	peers []*peer       // configured shard workers (see shard.go)
+	httpc *http.Client  // shard dispatch + health probes
 
-	mu     sync.Mutex
-	closed bool
-	nextID int
-	jobs   map[string]*job
-	order  []string // submission order for List
-	queued int      // jobs currently in StateQueued (O(1) Submit bound check)
-	cache  *resultCache
-	store  *diskStore // nil without Config.StateDir
-	// terminalByState holds terminal job IDs per state, oldest first,
-	// for the retention policy.
-	terminalByState map[string][]string
-	wg              sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	nextID  int
+	jobs    map[string]*job
+	order   []string // submission order for List
+	queued  int      // jobs currently in StateQueued (O(1) Submit bound check)
+	fq      *fairQueue
+	tenants map[string]*tenantState
+	cache   *resultCache
+	store   *diskStore // nil without Config.StateDir
+	// terminalByKey holds terminal job IDs per principal and state,
+	// oldest first, for the retention policy — per-principal so one
+	// tenant's churn cannot evict another tenant's history.
+	terminalByKey map[string][]string
+	wg            sync.WaitGroup
 
 	// Instruments live on their own registry (obs instruments are not
 	// atomic; every touch happens under mu). The store instruments are
 	// registered only when a disk store is configured; obs instruments
 	// are nil-safe, so the in-memory path pays one nil check.
-	reg           *obs.Registry
-	subCtr        *obs.Counter
-	doneCtr       *obs.Counter
-	failCtr       *obs.Counter
-	cancelCtr     *obs.Counter
-	hitCtr        *obs.Counter
-	missCtr       *obs.Counter
-	evictCtr      *obs.Counter
-	entriesGauge  *obs.Gauge
-	runningGauge  *obs.Gauge
-	queuedGauge   *obs.Gauge
-	retainedGauge *obs.Gauge
-	diskHitCtr    *obs.Counter
-	diskMissCtr   *obs.Counter
-	diskEvictCtr  *obs.Counter
-	corruptCtr    *obs.Counter
-	storeErrCtr   *obs.Counter
-	oversizeCtr   *obs.Counter
-	bootCtr       *obs.Counter
-	diskBytes     *obs.Gauge
-	diskEntries   *obs.Gauge
+	reg               *obs.Registry
+	subCtr            *obs.Counter
+	doneCtr           *obs.Counter
+	failCtr           *obs.Counter
+	cancelCtr         *obs.Counter
+	preemptCtr        *obs.Counter
+	requeueCtr        *obs.Counter
+	authFailCtr       *obs.Counter
+	cacheQuotaSkipCtr *obs.Counter
+	hitCtr            *obs.Counter
+	missCtr           *obs.Counter
+	evictCtr          *obs.Counter
+	entriesGauge      *obs.Gauge
+	runningGauge      *obs.Gauge
+	queuedGauge       *obs.Gauge
+	retainedGauge     *obs.Gauge
+	diskHitCtr        *obs.Counter
+	diskMissCtr       *obs.Counter
+	diskEvictCtr      *obs.Counter
+	corruptCtr        *obs.Counter
+	storeErrCtr       *obs.Counter
+	oversizeCtr       *obs.Counter
+	bootCtr           *obs.Counter
+	diskBytes         *obs.Gauge
+	diskEntries       *obs.Gauge
 	// Shard instruments: the coordinator set is registered only with
 	// Peers configured, the served set only with WorkerEndpoint; both
 	// stay nil (and nil-safe) otherwise.
@@ -283,32 +322,37 @@ func OpenManager(cfg Config) (*Manager, error) {
 	}
 	reg := obs.NewRegistry()
 	m := &Manager{
-		cfg:             cfg,
-		slots:           make(chan struct{}, cfg.MaxWorkers),
-		jobSlots:        make(chan struct{}, cfg.MaxRunningJobs),
-		jobs:            make(map[string]*job),
-		cache:           newResultCache(cfg.CacheEntries),
-		terminalByState: make(map[string][]string),
-		reg:             reg,
-		subCtr:          reg.Counter("service.jobs.submitted"),
-		doneCtr:         reg.Counter("service.jobs.completed"),
-		failCtr:         reg.Counter("service.jobs.failed"),
-		cancelCtr:       reg.Counter("service.jobs.cancelled"),
-		hitCtr:          reg.Counter("service.cache.hits"),
-		missCtr:         reg.Counter("service.cache.misses"),
-		evictCtr:        reg.Counter("service.cache.evictions"),
-		entriesGauge:    reg.Gauge("service.cache.entries"),
-		runningGauge:    reg.Gauge("service.jobs.running"),
-		queuedGauge:     reg.Gauge("service.jobs.queued"),
-		retainedGauge:   reg.Gauge("service.jobs.retained"),
-		start:           time.Now(),
-		uptimeGauge:     reg.Gauge("process.uptime_seconds"),
-		goroutineGauge:  reg.Gauge("process.goroutines"),
-		heapGauge:       reg.Gauge("process.heap_bytes"),
-		gcCyclesCtr:     reg.Counter("process.gc_cycles"),
-		gcPauseUs:       reg.Histogram("process.gc_pause_us"),
-		cellUs:          reg.Histogram("harness.cell_us"),
-		httpRoutes:      make(map[string]*routeInstruments),
+		cfg:               cfg,
+		slots:             make(chan struct{}, cfg.MaxWorkers),
+		fq:                newFairQueue(cfg.MaxRunningJobs),
+		tenants:           make(map[string]*tenantState),
+		jobs:              make(map[string]*job),
+		cache:             newResultCache(cfg.CacheEntries),
+		terminalByKey:     make(map[string][]string),
+		reg:               reg,
+		subCtr:            reg.Counter("service.jobs.submitted"),
+		doneCtr:           reg.Counter("service.jobs.completed"),
+		failCtr:           reg.Counter("service.jobs.failed"),
+		cancelCtr:         reg.Counter("service.jobs.cancelled"),
+		preemptCtr:        reg.Counter("service.sched.preemptions"),
+		requeueCtr:        reg.Counter("service.sched.requeues"),
+		authFailCtr:       reg.Counter("service.tenant.auth_failures"),
+		cacheQuotaSkipCtr: reg.Counter("service.tenant.cache_quota_skipped"),
+		hitCtr:            reg.Counter("service.cache.hits"),
+		missCtr:           reg.Counter("service.cache.misses"),
+		evictCtr:          reg.Counter("service.cache.evictions"),
+		entriesGauge:      reg.Gauge("service.cache.entries"),
+		runningGauge:      reg.Gauge("service.jobs.running"),
+		queuedGauge:       reg.Gauge("service.jobs.queued"),
+		retainedGauge:     reg.Gauge("service.jobs.retained"),
+		start:             time.Now(),
+		uptimeGauge:       reg.Gauge("process.uptime_seconds"),
+		goroutineGauge:    reg.Gauge("process.goroutines"),
+		heapGauge:         reg.Gauge("process.heap_bytes"),
+		gcCyclesCtr:       reg.Counter("process.gc_cycles"),
+		gcPauseUs:         reg.Histogram("process.gc_pause_us"),
+		cellUs:            reg.Histogram("harness.cell_us"),
+		httpRoutes:        make(map[string]*routeInstruments),
 	}
 	if len(cfg.Peers) > 0 {
 		m.httpc = &http.Client{}
@@ -383,10 +427,20 @@ func (m *Manager) foldSim(snap obs.Snapshot) {
 	}
 }
 
-// Submit validates and enqueues a job. A cache hit returns a job that
-// is already done — state "done", Cached true — without simulating;
-// the stored payload is served byte-identical to the first run's.
+// Submit validates and enqueues a job as the anonymous principal — the
+// open-mode entry point, and the pre-tenancy API surface.
 func (m *Manager) Submit(spec JobSpec) (JobView, error) {
+	return m.SubmitAs(spec, tenant.AnonymousName)
+}
+
+// SubmitAs validates and enqueues a job on behalf of a principal. A
+// cache hit returns a job that is already done — state "done", Cached
+// true — without simulating or consuming any queue quota; the stored
+// payload is served byte-identical to the first run's. A miss admits
+// the job against the global queue bound (ErrQueueFull) and the
+// principal's max-queued quota (ErrQuotaExceeded), then hands it to
+// the fair scheduler.
+func (m *Manager) SubmitAs(spec JobSpec, principal string) (JobView, error) {
 	if err := spec.normalize(); err != nil {
 		return JobView{}, &BadSpecError{Err: err}
 	}
@@ -398,13 +452,19 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 		return JobView{}, ErrDraining
 	}
 	m.subCtr.Inc()
+	ts := m.tenantLocked(principal)
+	ts.submittedCtr.Inc()
 	m.nextID++
 	j := &job{
-		id:   fmt.Sprintf("job-%d", m.nextID),
-		spec: spec,
-		key:  key,
-		subs: map[int]chan StreamEvent{},
-		done: make(chan struct{}),
+		id:        fmt.Sprintf("job-%d", m.nextID),
+		spec:      spec,
+		key:       key,
+		principal: principal,
+		class:     classOf(spec),
+		cost:      jobCost(spec),
+		subs:      map[int]chan StreamEvent{},
+		start:     make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 
 	if entry, ok := m.cache.get(key); ok {
@@ -433,7 +493,12 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	}
 
 	if m.queued >= m.cfg.MaxQueuedJobs {
+		ts.rejectedCtr.Inc()
 		return JobView{}, ErrQueueFull
+	}
+	if ts.p.MaxQueuedJobs > 0 && ts.queuedJobs >= ts.p.MaxQueuedJobs {
+		ts.rejectedCtr.Inc()
+		return JobView{}, ErrQuotaExceeded
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -443,8 +508,12 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	m.order = append(m.order, j.id)
 	m.queued++
 	m.queuedGauge.Add(1)
+	ts.queuedJobs++
+	ts.queuedG.Add(1)
+	m.fq.enqueue(j, ts.p.Weight, false)
 	m.wg.Add(1)
 	go m.run(ctx, j)
+	m.scheduleLocked()
 	return m.viewLocked(j), nil
 }
 
@@ -471,27 +540,39 @@ func (m *Manager) syncStoreGaugesLocked() {
 	m.diskEntries.Set(int64(m.store.len()))
 }
 
-// run drives one job from queued to a terminal state.
+// run drives one job segment from queued to a terminal state — or, for
+// a preempted batch job, back into the queue (each requeue spawns a
+// fresh run goroutine with a fresh context).
 func (m *Manager) run(ctx context.Context, j *job) {
 	defer m.wg.Done()
 
-	// Wait for a running-job slot; cancellation while queued resolves
-	// the job without simulating.
+	// Wait for the scheduler's dispatch; cancellation while queued
+	// resolves the job without simulating.
+	m.mu.Lock()
+	start := j.start
+	m.mu.Unlock()
 	select {
-	case m.jobSlots <- struct{}{}:
+	case <-start:
 	case <-ctx.Done():
 		m.finish(j, nil, nil, ctx.Err())
 		return
 	}
-	defer func() { <-m.jobSlots }()
 
 	m.mu.Lock()
-	if j.state == StateQueued { // not cancelled in the gap
-		j.state = StateRunning
-		j.started = time.Now()
-		m.queued--
-		m.queuedGauge.Add(-1)
-		m.runningGauge.Add(1)
+	spec := j.spec
+	ts := m.tenantLocked(j.principal)
+	quota := ts.cells
+	// Batch jobs capture completed cells' payloads so preemption can
+	// resume without re-execution. Traced jobs are excluded: trace
+	// buffers cannot cross the JSON capture, so a preempted traced job
+	// simply restarts (still byte-identical — same seeds).
+	capture := j.class == classBatch && !spec.Trace
+	var prefill map[int][]byte
+	if len(j.partial) > 0 {
+		prefill = make(map[int][]byte, len(j.partial))
+		for k, v := range j.partial {
+			prefill[k] = v
+		}
 	}
 	m.mu.Unlock()
 
@@ -499,11 +580,60 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	// contiguous chunks of the matrix to healthy workers and the
 	// harness merges their payloads in matrix order, so the result is
 	// byte-identical to a single-node run (failed chunks re-run here).
-	hooks := harness.ExecHooks{Shard: m.shardPlanner(j.spec), ObsSink: m.foldSim}
-	result, traceJSON, err := execute(ctx, j.spec, m.slots, func(p harness.Progress) {
+	// Prefill wraps the planner: on resume, already-completed cells are
+	// injected from the saved payloads instead of executing anywhere.
+	hooks := harness.ExecHooks{
+		Shard:     harness.Prefill(prefill, m.shardPlanner(spec, j.principal)),
+		ObsSink:   m.foldSim,
+		CellQuota: quota,
+	}
+	if capture {
+		hooks.Sink = func(i int, b []byte) { // calls serialised by the harness
+			m.mu.Lock()
+			if j.partial == nil {
+				j.partial = make(map[int][]byte)
+			}
+			j.partial[i] = append([]byte(nil), b...)
+			m.mu.Unlock()
+		}
+	}
+	result, traceJSON, err := execute(ctx, spec, m.slots, func(p harness.Progress) {
 		m.publish(j, p)
 	}, hooks)
+	if m.requeueIfPreempted(j, err) {
+		return
+	}
 	m.finish(j, result, traceJSON, err)
+}
+
+// requeueIfPreempted intercepts a cancelled run whose cancellation came
+// from the scheduler, not the caller: the job goes back to the front of
+// its principal's queue (keeping its completed cells for Prefill) and a
+// fresh goroutine waits for redispatch. Reports whether it intercepted.
+func (m *Manager) requeueIfPreempted(j *job, err error) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !j.preempted || j.userCancel || !errors.Is(err, context.Canceled) {
+		return false
+	}
+	j.preempted = false
+	j.preemptions++
+	m.requeueCtr.Inc()
+	m.releaseRunningLocked(j)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.state = StateQueued
+	j.start = make(chan struct{})
+	m.queued++
+	m.queuedGauge.Add(1)
+	ts := m.tenantLocked(j.principal)
+	ts.queuedJobs++
+	ts.queuedG.Add(1)
+	m.fq.enqueue(j, ts.p.Weight, true)
+	m.wg.Add(1)
+	go m.run(ctx, j)
+	m.scheduleLocked()
+	return true
 }
 
 // publish records progress and fans it out to subscribers. Sends are
@@ -541,6 +671,7 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 
 	wasRunning := j.state == StateRunning
 	wasQueued := j.state == StateQueued
+	ts := m.tenantLocked(j.principal)
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -550,7 +681,22 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		evicted := m.cache.put(j.key, entry)
 		m.evictCtr.Add(uint64(evicted))
 		m.entriesGauge.Set(int64(m.cache.len()))
-		if m.store != nil {
+		// Attribute the cached bytes to the submitting principal; a
+		// principal over its cache-bytes quota keeps its result in the
+		// memory tier (the job still serves) but is not persisted.
+		persist := true
+		if _, seen := ts.cacheKeys[j.key]; !seen {
+			size := int64(len(result) + len(traceJSON))
+			if ts.p.MaxCacheBytes > 0 && ts.cacheBytes+size > ts.p.MaxCacheBytes {
+				persist = false
+				m.cacheQuotaSkipCtr.Inc()
+			} else {
+				ts.cacheKeys[j.key] = size
+				ts.cacheBytes += size
+				ts.cacheBytesG.Set(ts.cacheBytes)
+			}
+		}
+		if m.store != nil && persist {
 			stored, diskEvicted, serr := m.store.put(j.key, entry)
 			switch {
 			case serr != nil:
@@ -572,13 +718,16 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		m.failCtr.Inc()
 	}
 	if wasRunning {
-		m.runningGauge.Add(-1)
-		j.elapsed = time.Since(j.started)
+		m.releaseRunningLocked(j)
 	}
 	if wasQueued {
 		m.queued--
 		m.queuedGauge.Add(-1)
+		m.fq.remove(j)
+		ts.queuedJobs--
+		ts.queuedG.Add(-1)
 	}
+	j.partial = nil // terminal: captured payloads are no longer needed
 	m.recordTerminalLocked(j)
 
 	ev := m.terminalEventLocked(j)
@@ -591,23 +740,27 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		delete(j.subs, id)
 	}
 	close(j.done)
+	m.scheduleLocked()
 }
 
 // recordTerminalLocked enrols a just-terminal job in the retention
-// policy: the last RetainTerminalJobs jobs per terminal state stay
-// addressable; older ones are pruned from the manager so a long-lived
-// daemon's job table stays bounded. Pruned payloads remain reachable
-// through the result cache and disk store by resubmitting the spec.
+// policy: the last RetainTerminalJobs jobs per principal and terminal
+// state stay addressable; older ones are pruned from the manager so a
+// long-lived daemon's job table stays bounded — and one tenant's job
+// churn cannot evict another tenant's history. Pruned payloads remain
+// reachable through the result cache and disk store by resubmitting
+// the spec.
 func (m *Manager) recordTerminalLocked(j *job) {
-	m.terminalByState[j.state] = append(m.terminalByState[j.state], j.id)
+	key := j.principal + "\x00" + j.state
+	m.terminalByKey[key] = append(m.terminalByKey[key], j.id)
 	pruned := false
-	for state, ids := range m.terminalByState {
+	for k, ids := range m.terminalByKey {
 		for len(ids) > m.cfg.RetainTerminalJobs {
 			delete(m.jobs, ids[0])
 			ids = ids[1:]
 			pruned = true
 		}
-		m.terminalByState[state] = ids
+		m.terminalByKey[k] = ids
 	}
 	if pruned {
 		kept := m.order[:0]
@@ -619,7 +772,7 @@ func (m *Manager) recordTerminalLocked(j *job) {
 		m.order = kept
 	}
 	retained := 0
-	for _, ids := range m.terminalByState {
+	for _, ids := range m.terminalByKey {
 		retained += len(ids)
 	}
 	m.retainedGauge.Set(int64(retained))
@@ -637,20 +790,39 @@ func (m *Manager) terminalEventLocked(j *job) StreamEvent {
 	}
 }
 
-// Cancel requests cancellation. Queued jobs resolve immediately;
-// running jobs stop dispatching cells and resolve once in-flight cells
-// complete. Cancelling a terminal job is a no-op (false).
+// Cancel requests cancellation without an ownership check — the
+// open-mode surface, also used by Drain. Queued jobs resolve
+// immediately; running jobs stop dispatching cells and resolve once
+// in-flight cells complete. Cancelling a terminal job is a no-op
+// (false).
 func (m *Manager) Cancel(id string) (bool, error) {
+	return m.cancelJob(id, "", false)
+}
+
+// CancelBy is Cancel with ownership enforcement: only the submitting
+// principal may cancel its job (ErrForbidden otherwise).
+func (m *Manager) CancelBy(id, principal string) (bool, error) {
+	return m.cancelJob(id, principal, true)
+}
+
+func (m *Manager) cancelJob(id, principal string, enforce bool) (bool, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	if !ok {
 		m.mu.Unlock()
 		return false, ErrNotFound
 	}
+	if enforce && j.principal != principal {
+		m.mu.Unlock()
+		return false, ErrForbidden
+	}
 	if terminal(j.state) || j.cancel == nil {
 		m.mu.Unlock()
 		return false, nil
 	}
+	// userCancel wins over any concurrent scheduler preemption: the job
+	// resolves cancelled instead of requeueing.
+	j.userCancel = true
 	cancel := j.cancel
 	m.mu.Unlock()
 	cancel()
@@ -682,14 +854,16 @@ func (m *Manager) List() []JobView {
 func (m *Manager) viewLocked(j *job) JobView {
 	elapsed := j.elapsed
 	if j.state == StateRunning {
-		elapsed = time.Since(j.started)
+		elapsed += nowFunc().Sub(j.started)
 	}
 	return JobView{
 		ID: j.id, State: j.state, Cached: j.cached, CacheKey: j.key,
 		Completed: j.progress.Completed, Total: j.progress.Total,
 		FailedCells: j.progress.Failed,
 		ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
-		Error:       j.errMsg, HasTrace: len(j.trace) > 0, Spec: j.spec,
+		Error:       j.errMsg, HasTrace: len(j.trace) > 0,
+		Principal: j.principal, Preemptions: j.preemptions,
+		Spec: j.spec,
 	}
 }
 
@@ -748,10 +922,11 @@ func (m *Manager) Subscribe(id string) (events <-chan StreamEvent, cancelSub fun
 }
 
 // Drain gracefully shuts the manager down: new submissions are
-// rejected, queued and running jobs finish, and Drain returns when all
-// jobs are terminal. If ctx expires first, every remaining job is
-// cancelled and Drain waits (briefly) for the pools to unwind before
-// returning ctx's error.
+// rejected, queued and running jobs finish (preempted batch jobs
+// resume and complete), and Drain returns when all jobs are terminal.
+// If ctx expires first, every remaining job is cancelled — as a user
+// cancel, so nothing requeues — and Drain waits (briefly) for the
+// pools to unwind before returning ctx's error.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -773,6 +948,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	for _, j := range m.jobs {
 		if !terminal(j.state) && j.cancel != nil {
+			j.userCancel = true
 			j.cancel()
 		}
 	}

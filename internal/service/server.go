@@ -11,7 +11,32 @@ import (
 	"github.com/eurosys23/ice/internal/experiments"
 	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/policy"
+	"github.com/eurosys23/ice/internal/tenant"
 )
+
+// ErrUnauthorized is returned by authPrincipal for a missing or
+// unknown bearer token (HTTP 401).
+var ErrUnauthorized = errors.New("service: missing or invalid bearer token")
+
+// authPrincipal resolves the caller's principal on a protected route.
+// With auth disabled every caller is the anonymous principal; with
+// auth enabled the request must carry "Authorization: Bearer <token>"
+// matching the token file.
+func (m *Manager) authPrincipal(r *http.Request) (string, error) {
+	if !m.cfg.AuthTokens.Enabled() {
+		return tenant.AnonymousName, nil
+	}
+	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if ok && token != "" {
+		if p, found := m.cfg.AuthTokens.Authenticate(token); found {
+			return p.Name, nil
+		}
+	}
+	m.mu.Lock()
+	m.authFailCtr.Inc()
+	m.mu.Unlock()
+	return "", ErrUnauthorized
+}
 
 // NewServer wires the daemon's HTTP API over a Manager:
 //
@@ -34,6 +59,12 @@ import (
 //
 // Every route runs behind a metrics middleware that records
 // service.http.{requests,errors,latency_us}.<route>.
+//
+// With Config.AuthTokens set, the mutating routes (POST /jobs,
+// POST /jobs/{id}/cancel, POST /internal/cells) require a bearer
+// token from the token file; health and metrics stay open so probes
+// and scrapers need no credentials. Cancel additionally enforces
+// ownership: a principal may only cancel its own jobs.
 func NewServer(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -122,6 +153,11 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	handle("POST /jobs", "jobs_submit", func(w http.ResponseWriter, r *http.Request) {
+		principal, err := m.authPrincipal(r)
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
 		var spec JobSpec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -129,13 +165,13 @@ func NewServer(m *Manager) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
 			return
 		}
-		view, err := m.Submit(spec)
+		view, err := m.SubmitAs(spec, principal)
 		if err != nil {
 			var bad *BadSpecError
 			switch {
 			case errors.As(err, &bad):
 				writeErr(w, http.StatusBadRequest, err)
-			case errors.Is(err, ErrQueueFull):
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
 				writeErr(w, http.StatusTooManyRequests, err)
 			case errors.Is(err, ErrDraining):
 				writeErr(w, http.StatusServiceUnavailable, err)
@@ -161,8 +197,17 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	handle("POST /jobs/{id}/cancel", "jobs_cancel", func(w http.ResponseWriter, r *http.Request) {
-		requested, err := m.Cancel(r.PathValue("id"))
+		principal, err := m.authPrincipal(r)
 		if err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		requested, err := m.CancelBy(r.PathValue("id"), principal)
+		switch {
+		case errors.Is(err, ErrForbidden):
+			writeErr(w, http.StatusForbidden, err)
+			return
+		case err != nil:
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
@@ -214,6 +259,14 @@ func NewServer(m *Manager) http.Handler {
 			writeErr(w, http.StatusForbidden, errors.New("not a worker node (start icesimd with -role worker)"))
 			return
 		}
+		// The coordinator authenticates with its own fleet token; the
+		// submitting tenant's identity travels in the request body and
+		// is attributed (and quota'd) as-is — the worker trusts an
+		// authenticated coordinator's principal claim.
+		if _, err := m.authPrincipal(r); err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
 		var req shardRequest
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -226,7 +279,7 @@ func NewServer(m *Manager) http.Handler {
 				fmt.Errorf("version mismatch: coordinator %q, worker %q", req.Version, codeVersion()))
 			return
 		}
-		cells, err := m.ExecCellRange(r.Context(), req.Spec, req.From, req.To)
+		cells, err := m.ExecCellRange(r.Context(), req.Spec, req.From, req.To, req.Principal)
 		if err != nil {
 			var bad *BadSpecError
 			switch {

@@ -27,6 +27,7 @@ import (
 
 	"github.com/eurosys23/ice/internal/harness"
 	"github.com/eurosys23/ice/internal/obs"
+	"github.com/eurosys23/ice/internal/tenant"
 )
 
 // internalCellsPath is the worker-side cell-range execution endpoint.
@@ -41,6 +42,11 @@ type shardRequest struct {
 	From    int     `json:"from"`
 	To      int     `json:"to"`
 	Version string  `json:"version"`
+	// Principal is the submitting caller's identity, forwarded so the
+	// worker attributes the served cells — and applies its own
+	// per-principal cell quota — to the original tenant rather than to
+	// the coordinator.
+	Principal string `json:"principal,omitempty"`
 }
 
 // shardResponse carries one JSON payload per cell of the requested
@@ -79,6 +85,15 @@ func (m *Manager) ProbePeers(ctx context.Context) int {
 	return healthy
 }
 
+// peerAuth attaches the configured fleet bearer token to an outbound
+// peer request. Open routes ignore it; authenticated workers require
+// it on every mutating route.
+func (m *Manager) peerAuth(req *http.Request) {
+	if m.cfg.PeerToken != "" {
+		req.Header.Set("Authorization", "Bearer "+m.cfg.PeerToken)
+	}
+}
+
 func (m *Manager) probePeer(ctx context.Context, p *peer) bool {
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
@@ -86,6 +101,7 @@ func (m *Manager) probePeer(ctx context.Context, p *peer) bool {
 	if err != nil {
 		return false
 	}
+	m.peerAuth(req)
 	resp, err := m.httpc.Do(req)
 	if err != nil {
 		return false
@@ -144,7 +160,7 @@ func (m *Manager) nextHealthyPeer(last *peer) *peer {
 // when this node has no peers. Chunk 0 always stays on the
 // coordinator: it holds cell 0, the only cell that can record a trace,
 // and trace buffers cannot cross the JSON wire.
-func (m *Manager) shardPlanner(spec JobSpec) harness.ShardPlanner {
+func (m *Manager) shardPlanner(spec JobSpec, principal string) harness.ShardPlanner {
 	if len(m.peers) == 0 {
 		return nil
 	}
@@ -164,7 +180,7 @@ func (m *Manager) shardPlanner(spec JobSpec) harness.ShardPlanner {
 			chunks = append(chunks, harness.RemoteChunk{
 				Range: r,
 				Exec: func(ctx context.Context) ([][]byte, error) {
-					return m.dispatchChunk(ctx, p, spec, r)
+					return m.dispatchChunk(ctx, p, spec, r, principal)
 				},
 			})
 		}
@@ -176,7 +192,7 @@ func (m *Manager) shardPlanner(spec JobSpec) harness.ShardPlanner {
 // healthy peers up to Config.ShardRetries times. A failed target is
 // pulled from rotation until the health loop re-admits it. Any
 // returned error sends the chunk to the harness's local fallback pool.
-func (m *Manager) dispatchChunk(ctx context.Context, first *peer, spec JobSpec, r harness.Range) ([][]byte, error) {
+func (m *Manager) dispatchChunk(ctx context.Context, first *peer, spec JobSpec, r harness.Range, principal string) ([][]byte, error) {
 	m.mu.Lock()
 	m.shardDispatchCtr.Inc()
 	retries := m.cfg.ShardRetries
@@ -194,7 +210,7 @@ func (m *Manager) dispatchChunk(ctx context.Context, first *peer, spec JobSpec, 
 			m.shardRetryCtr.Inc()
 			m.mu.Unlock()
 		}
-		cells, err := m.postCells(ctx, target, spec, r)
+		cells, err := m.postCells(ctx, target, spec, r, principal)
 		if err == nil {
 			m.mu.Lock()
 			m.shardRemoteCtr.Add(uint64(len(cells)))
@@ -221,8 +237,8 @@ func (m *Manager) dispatchChunk(ctx context.Context, first *peer, spec JobSpec, 
 }
 
 // postCells performs one dispatch attempt under the per-chunk timeout.
-func (m *Manager) postCells(ctx context.Context, p *peer, spec JobSpec, r harness.Range) ([][]byte, error) {
-	body, err := json.Marshal(shardRequest{Spec: spec, From: r.From, To: r.To, Version: codeVersion()})
+func (m *Manager) postCells(ctx context.Context, p *peer, spec JobSpec, r harness.Range, principal string) ([][]byte, error) {
+	body, err := json.Marshal(shardRequest{Spec: spec, From: r.From, To: r.To, Version: codeVersion(), Principal: principal})
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +249,7 @@ func (m *Manager) postCells(ctx context.Context, p *peer, spec JobSpec, r harnes
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	m.peerAuth(req)
 
 	m.mu.Lock()
 	p.inflight.Add(1)
@@ -264,13 +281,19 @@ func (m *Manager) postCells(ctx context.Context, p *peer, spec JobSpec, r harnes
 // locally and returns each cell's result as JSON, in index order — the
 // worker half of the sharding protocol. Cell seeds derive from the
 // spec alone, so these are exactly the bytes the coordinator's own
-// pool would have computed for the same indices.
-func (m *Manager) ExecCellRange(ctx context.Context, spec JobSpec, from, to int) ([][]byte, error) {
+// pool would have computed for the same indices. principal is the
+// coordinator-forwarded submitting identity ("" maps to anonymous):
+// the served cells run under that principal's cell quota when this
+// worker's token file defines one.
+func (m *Manager) ExecCellRange(ctx context.Context, spec JobSpec, from, to int, principal string) ([][]byte, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, &BadSpecError{Err: err}
 	}
 	if from < 0 || to <= from {
 		return nil, &BadSpecError{Err: fmt.Errorf("bad cell range [%d,%d)", from, to)}
+	}
+	if principal == "" {
+		principal = tenant.AnonymousName
 	}
 	m.mu.Lock()
 	if m.closed {
@@ -278,6 +301,7 @@ func (m *Manager) ExecCellRange(ctx context.Context, spec JobSpec, from, to int)
 		return nil, ErrDraining
 	}
 	m.shardServedCtr.Inc()
+	quota := m.tenantLocked(principal).cells
 	m.mu.Unlock()
 
 	collected := make([][]byte, to-from)
@@ -292,7 +316,8 @@ func (m *Manager) ExecCellRange(ctx context.Context, spec JobSpec, from, to int)
 		},
 		// Cells served for a coordinator fold into this worker's own
 		// sim.* series, keeping fleet aggregation double-count free.
-		ObsSink: m.foldSim,
+		ObsSink:   m.foldSim,
+		CellQuota: quota,
 	}
 	// The progress callback records the served cells' wall-clock latency
 	// into harness.cell_us — the same series coordinator-local cells use.

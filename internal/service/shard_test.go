@@ -245,13 +245,13 @@ func TestInternalCellsEndpointGating(t *testing.T) {
 func TestExecCellRangeValidation(t *testing.T) {
 	m := NewManager(Config{MaxWorkers: 1, WorkerEndpoint: true})
 	spec := tinySpec()
-	if _, err := m.ExecCellRange(context.Background(), spec, 2, 1); err == nil {
+	if _, err := m.ExecCellRange(context.Background(), spec, 2, 1, ""); err == nil {
 		t.Error("inverted range accepted")
 	}
-	if _, err := m.ExecCellRange(context.Background(), spec, 0, 5); err == nil {
+	if _, err := m.ExecCellRange(context.Background(), spec, 0, 5, ""); err == nil {
 		t.Error("range beyond the 1-cell matrix accepted")
 	}
-	cells, err := m.ExecCellRange(context.Background(), spec, 0, 1)
+	cells, err := m.ExecCellRange(context.Background(), spec, 0, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestExecCellRangeValidation(t *testing.T) {
 
 	bad := spec
 	bad.Device = "no-such-device"
-	if _, err := m.ExecCellRange(context.Background(), bad, 0, 1); err == nil {
+	if _, err := m.ExecCellRange(context.Background(), bad, 0, 1, ""); err == nil {
 		t.Error("invalid spec accepted")
 	}
 }

@@ -60,6 +60,12 @@ type JobSpec struct {
 	// daemon's global budget). It cannot change the result — the harness
 	// is worker-count invariant — so it is excluded from the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Priority selects the scheduling class: "interactive" (the
+	// default) schedules ahead of — and may preempt — "batch". Like
+	// Workers it cannot change the result, only when it is computed, so
+	// it too is excluded from the cache key and stripped from the
+	// result payload.
+	Priority string `json:"priority,omitempty"`
 }
 
 // normalize validates the spec and fills every defaulted field in
@@ -149,6 +155,11 @@ func (s *JobSpec) normalize() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("negative workers %d", s.Workers)
 	}
+	switch s.Priority {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return fmt.Errorf("unknown priority %q (%q or %q)", s.Priority, PriorityInteractive, PriorityBatch)
+	}
 	return nil
 }
 
@@ -182,13 +193,15 @@ const cacheKeySchema = "icesimd-cache-v1"
 
 // CacheKey content-addresses a normalised spec for the given code
 // version: a SHA-256 over the key schema, the code version, and the
-// canonical JSON of every result-determining field. Workers is zeroed
-// first — the harness is worker-count invariant, so any parallelism
-// produces the identical payload. Same spec ⇒ same key in any process
-// of the same code version; any result-determining field change ⇒ a
-// different key.
+// canonical JSON of every result-determining field. Workers and
+// Priority are zeroed first — the harness is worker-count invariant
+// and the scheduling class only decides when a job runs, so any
+// parallelism or priority produces the identical payload. Same spec ⇒
+// same key in any process of the same code version; any
+// result-determining field change ⇒ a different key.
 func CacheKey(spec JobSpec, version string) string {
 	spec.Workers = 0
+	spec.Priority = ""
 	canonical, err := json.Marshal(spec)
 	if err != nil {
 		panic(err) // JobSpec is plain data; Marshal cannot fail
