@@ -5,7 +5,9 @@
 #   race-free at any -workers setting), a flake guard re-running the
 #   concurrency-heavy packages, a one-iteration benchmark smoke pass
 #   (benchmarks must at least run; their cells/sec, allocs/cell and
-#   p50/p99 per-cell latency metrics are written to BENCH_8.json), a
+#   p50/p99 per-cell latency metrics are written to BENCH_9.json, and
+#   each benchmark's cells/sec is compared against the previous PR's
+#   snapshot — a >10% regression fails the gate), a
 #   golden-file check on the Perfetto trace exporter, the scheme
 #   byte-identity goldens (every registered policy scheme's fixed-seed
 #   result hash), an icesimd smoke test (boot with a state dir,
@@ -42,8 +44,12 @@ go test -race -count=2 -timeout 20m ./internal/harness/ ./internal/service/
 
 # Benchmarks stay runnable: one iteration each, no timing claims — and
 # their cells/sec + allocs/cell + per-cell latency percentile metrics
-# are snapshotted into BENCH_8.json so the perf trajectory the ROADMAP
-# asks for accumulates one file per PR.
+# are snapshotted into BENCH_9.json so the perf trajectory the ROADMAP
+# asks for accumulates one file per PR. Each benchmark's cells/sec is
+# then compared against the previous PR's snapshot (BENCH_8.json): a
+# drop of more than 10% fails the gate, so a hot-path regression can't
+# land silently. The 1x runs are noisy; 10% is wide enough that only a
+# real regression (not scheduling jitter) trips it.
 benchout=$(mktemp)
 go test -run='^$' -bench=. -benchtime=1x ./... | tee "$benchout"
 awk '
@@ -65,10 +71,35 @@ BEGIN { print "[" }
     }
 }
 END { print "\n]" }
-' "$benchout" > BENCH_8.json
+' "$benchout" > BENCH_9.json
 rm -f "$benchout"
-grep -q cells_per_sec BENCH_8.json || { echo "BENCH_8.json has no bench rows" >&2; exit 1; }
-grep -q p99_cell_us BENCH_8.json || { echo "BENCH_8.json has no per-cell latency column" >&2; exit 1; }
+grep -q cells_per_sec BENCH_9.json || { echo "BENCH_9.json has no bench rows" >&2; exit 1; }
+grep -q p99_cell_us BENCH_9.json || { echo "BENCH_9.json has no per-cell latency column" >&2; exit 1; }
+
+if [ -f BENCH_8.json ]; then
+    awk '
+    FNR == 1 { file++ }
+    /"bench"/ {
+        name = $0; sub(/.*"bench": "/, "", name); sub(/".*/, "", name)
+        cps = $0; sub(/.*"cells_per_sec": /, "", cps); sub(/,.*/, "", cps)
+        if (file == 1) prev[name] = cps + 0
+        else           cur[name] = cps + 0
+    }
+    END {
+        bad = 0
+        for (name in cur) {
+            if (!(name in prev) || prev[name] <= 0) continue
+            if (cur[name] < 0.9 * prev[name]) {
+                printf "%-28s %12.3f -> %12.3f cells/sec (%.0f%%): regression >10%%\n", \
+                    name, prev[name], cur[name], 100 * cur[name] / prev[name] >> "/dev/stderr"
+                bad = 1
+            }
+        }
+        exit bad
+    }
+    ' BENCH_8.json BENCH_9.json \
+        || { echo "benchmark throughput regressed >10% vs BENCH_8.json" >&2; exit 1; }
+fi
 
 # The Perfetto exporter's output is pinned byte-for-byte; a drift means
 # the golden file needs a deliberate `go test ./internal/trace -update`.
@@ -105,22 +136,22 @@ boot_icesimd() {
 
 # wait_done URL JOB — block until the job's NDJSON stream reports done.
 wait_done() {
-    curl -sfN "$1/jobs/$2/stream" | tail -1 | grep -q '"state":"done"'
+    curl -sfN "$1/jobs/$2/stream" | tail -1 | grep '"state":"done"' >/dev/null
 }
 
 boot_icesimd "$smokedir/log" -state-dir "$smokedir/state"
 
-curl -sf "http://$addr/healthz" | grep -q true
+curl -sf "http://$addr/healthz" | grep true >/dev/null
 spec='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":1,"seed":11}'
 curl -sf -X POST "http://$addr/jobs" -d "$spec" >/dev/null
 # The NDJSON stream ends when the job does.
 wait_done "http://$addr" job-1
 curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/r1"
-curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true'
+curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep '"cached": true' >/dev/null
 curl -sf "http://$addr/jobs/job-2/result" >"$smokedir/r2"
 cmp -s "$smokedir/r1" "$smokedir/r2" || { echo "cached result not byte-identical" >&2; exit 1; }
-curl -sf "http://$addr/metrics" | grep -q 'service.cache.hits'
-curl -sf "http://$addr/healthz" | grep -q '"role": "node"'
+curl -sf "http://$addr/metrics" | grep 'service.cache.hits' >/dev/null
+curl -sf "http://$addr/healthz" | grep '"role": "node"' >/dev/null
 
 # Prometheus exposition: both negotiated forms must serve typed series,
 # and a completed job must have lit up the harness latency histogram
@@ -142,13 +173,13 @@ grep -q 'drained, bye' "$smokedir/log"
 
 # Second boot on the same state dir: the job must be a disk-cache hit.
 boot_icesimd "$smokedir/log2" -state-dir "$smokedir/state"
-curl -sf "http://$addr/metrics" | grep 'service.store.loaded_at_boot' | grep -q ' 1$' \
+curl -sf "http://$addr/metrics" | grep 'service.store.loaded_at_boot' | grep ' 1$' >/dev/null \
     || { echo "restarted daemon did not load the stored entry" >&2; curl -sf "http://$addr/metrics" >&2; exit 1; }
-curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep -q '"cached": true' \
+curl -sf -X POST "http://$addr/jobs" -d "$spec" | grep '"cached": true' >/dev/null \
     || { echo "restarted daemon re-simulated instead of hitting the disk store" >&2; exit 1; }
 curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/r3"
 cmp -s "$smokedir/r1" "$smokedir/r3" || { echo "disk-store result not byte-identical across restart" >&2; exit 1; }
-curl -sf "http://$addr/metrics" | grep 'service.store.disk_hits' | grep -q ' 1$' \
+curl -sf "http://$addr/metrics" | grep 'service.store.disk_hits' | grep ' 1$' >/dev/null \
     || { echo "disk hit not counted" >&2; exit 1; }
 kill -TERM "$daemon"
 wait "$daemon" || { echo "icesimd (restart) did not drain cleanly" >&2; cat "$smokedir/log2" >&2; exit 1; }
@@ -182,7 +213,7 @@ done
 # series under peer labels with ice_peer_up 1 each.
 curl -sf "http://$coord/fleet/metrics" >"$smokedir/fleet"
 for w in "$w1" "$w2"; do
-    grep "^ice_peer_up{" "$smokedir/fleet" | grep "peer=\"$w\"" | grep -q ' 1$' \
+    grep "^ice_peer_up{" "$smokedir/fleet" | grep "peer=\"$w\"" | grep ' 1$' >/dev/null \
         || { echo "fleet scrape missing ice_peer_up 1 for $w" >&2; cat "$smokedir/fleet" >&2; exit 1; }
     grep "^ice_service_cache_hits_total{peer=\"$w\"" "$smokedir/fleet" >/dev/null \
         || { echo "fleet scrape missing $w's series" >&2; cat "$smokedir/fleet" >&2; exit 1; }
@@ -227,9 +258,9 @@ curl -sf "http://$coord/metrics" | grep 'service\.shard\.peer_failures' | awk '{
 # The dead worker flatlines on the fleet surface — ice_peer_up 0, the
 # live worker still 1, and no scrape error.
 curl -sf "http://$coord/fleet/metrics" >"$smokedir/fleet2"
-grep "^ice_peer_up{" "$smokedir/fleet2" | grep "peer=\"$w2\"" | grep -q ' 0$' \
+grep "^ice_peer_up{" "$smokedir/fleet2" | grep "peer=\"$w2\"" | grep ' 0$' >/dev/null \
     || { echo "SIGKILLed worker not reported as ice_peer_up 0" >&2; cat "$smokedir/fleet2" >&2; exit 1; }
-grep "^ice_peer_up{" "$smokedir/fleet2" | grep "peer=\"$w1\"" | grep -q ' 1$' \
+grep "^ice_peer_up{" "$smokedir/fleet2" | grep "peer=\"$w1\"" | grep ' 1$' >/dev/null \
     || { echo "live worker lost its ice_peer_up 1" >&2; cat "$smokedir/fleet2" >&2; exit 1; }
 
 kill -TERM "$coordpid"
@@ -259,13 +290,13 @@ status() {
     || { echo "unauthenticated submit not rejected with 401" >&2; exit 1; }
 [ "$(status POST "http://$addr/jobs" -H 'Authorization: Bearer tok-wrong' -d "$spec")" = 401 ] \
     || { echo "wrong-token submit not rejected with 401" >&2; exit 1; }
-curl -sf "http://$addr/healthz" | grep -q true
-curl -sf "http://$addr/metrics" | grep -q 'service.tenant.auth_failures'
+curl -sf "http://$addr/healthz" | grep true >/dev/null
+curl -sf "http://$addr/metrics" | grep 'service.tenant.auth_failures' >/dev/null
 
 # Authenticated round-trip: submit as alice, stream to completion, read
 # the result, and require the job view to carry the principal.
 curl -sf -X POST "http://$addr/jobs" -H 'Authorization: Bearer tok-alice' -d "$spec" \
-    | grep -q '"principal": "alice"'
+    | grep '"principal": "alice"' >/dev/null
 wait_done "http://$addr" job-1
 curl -sf "http://$addr/jobs/job-1/result" >"$smokedir/auth.r1"
 cmp -s "$smokedir/r1" "$smokedir/auth.r1" \
@@ -282,7 +313,7 @@ slow3='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration
     || { echo "bob's second submit rejected" >&2; exit 1; }
 [ "$(status POST "http://$addr/jobs" -H 'Authorization: Bearer tok-bob' -d "$slow3")" = 429 ] \
     || { echo "bob's over-quota submit not rejected with 429" >&2; exit 1; }
-curl -sf "http://$addr/metrics" | grep 'service.tenant.rejected.bob' | grep -q ' 1$' \
+curl -sf "http://$addr/metrics" | grep 'service.tenant.rejected.bob' | grep ' 1$' >/dev/null \
     || { echo "quota rejection not attributed to bob" >&2; curl -sf "http://$addr/metrics" >&2; exit 1; }
 
 kill -TERM "$authpid"

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,8 +65,48 @@ func main() {
 		workers  = flag.Int("workers", 0, "max simulations in flight (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "report completed/total cells and ETA on stderr")
 		asJSON   = flag.Bool("json", false, "emit structured JSON (with per-cell timings) instead of tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// stopProfiles flushes both profiles (idempotently); every exit path
+	// after this point must go through it — os.Exit skips defers.
+	var cpuFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	stopProfiles := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if *memProf != "" {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				*memProf = ""
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+			*memProf = ""
+		}
+	}
+	defer stopProfiles()
 
 	all := experiments.Registry()
 	if *list {
@@ -178,6 +220,7 @@ func main() {
 			}
 			if err := enc.Encode(obj); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				stopProfiles()
 				os.Exit(1)
 			}
 			continue
@@ -187,6 +230,7 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
 	}
 	if failed {
+		stopProfiles()
 		os.Exit(1)
 	}
 }

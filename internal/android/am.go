@@ -257,14 +257,12 @@ func (am *ActivityManager) postColdLaunch(in *Instance, finish func(start, end s
 				}
 				// Grow the address space.
 				pid := in.MainPID()
-				ids, c := sys.MM.Map(pid, in.UID, mm.File, spec.FilePages/launchChunks)
-				in.filePages = append(in.filePages, ids...)
+				var c mm.Cost
+				in.filePages, c = sys.MM.MapAppend(in.filePages, pid, in.UID, mm.File, spec.FilePages/launchChunks)
 				cost.Add(c)
-				ids, c = sys.MM.Map(pid, in.UID, mm.AnonNative, spec.NativePages/launchChunks)
-				in.nativePages = append(in.nativePages, ids...)
+				in.nativePages, c = sys.MM.MapAppend(in.nativePages, pid, in.UID, mm.AnonNative, spec.NativePages/launchChunks)
 				cost.Add(c)
-				ids, c = sys.MM.Map(pid, in.UID, mm.AnonJava, spec.JavaPages/launchChunks)
-				in.javaPages = append(in.javaPages, ids...)
+				in.javaPages, c = sys.MM.MapAppend(in.javaPages, pid, in.UID, mm.AnonJava, spec.JavaPages/launchChunks)
 				cost.Add(c)
 				return cost.Stall, cost.BlockUntil
 			},

@@ -225,6 +225,52 @@ func (in *Instance) startTimers() {
 			// one-second thaw window, not at the next multi-second
 			// period boundary.
 			const poll = 400 * sim.Millisecond
+			// The wake executes as a chain of sub-phases, each touching part
+			// of the working set and then computing. Wakes never overlap (a
+			// new wake coalesces while the previous chain still queues), so
+			// one prebuilt Work per sub-phase serves every wake of this
+			// stream; the per-wake parameters flow through stream variables.
+			const parts = 3
+			var wakeTouch int
+			var wakeHotBias float64
+			var wakeCPU sim.Time
+			var partWork [parts]*proc.Work
+			for k := 0; k < parts; k++ {
+				k := k
+				w := &proc.Work{
+					Name: "bg-wake",
+					Setup: func() (sim.Time, sim.Time) {
+						var c mm.Cost
+						if spec.BGSweep {
+							c = in.touchMixHot(wakeTouch/parts, wakeHotBias)
+							if k == 0 {
+								// Slow background accretion (sync
+								// results, notifications), capped
+								// tightly.
+								c.Add(in.grow(1, 1.1))
+							}
+						} else {
+							c = in.touchHotCore(wakeTouch / parts)
+						}
+						return c.Stall, c.BlockUntil
+					},
+				}
+				if k+1 < parts {
+					w.OnDone = func(_, _ sim.Time) {
+						// The chain is in-flight syscall work: the
+						// freezer only stops a task at its next
+						// freezable point, so a wake that already
+						// started runs to completion even if RPF
+						// froze the app at its first refault.
+						if seq == in.launchSeq && in.main.Alive() {
+							next := partWork[k+1]
+							next.CPU = rng.Jitter(wakeCPU/parts, 0.3)
+							sys.Sched.Post(task, next)
+						}
+					}
+				}
+				partWork[k] = w
+			}
 			sys.Eng.After(offset, func() {
 				due = sys.Eng.Now() + period
 				sys.Eng.Every(poll, func() bool {
@@ -280,50 +326,15 @@ func (in *Instance) startTimers() {
 						cpu += cpu * sim.Time(missed) / 2
 						missed = 0
 					}
-					// The wake executes as a chain of sub-phases, each
-					// touching part of the working set and then computing.
-					// A starved task (UCSG's demoted background) holds its
-					// queue for most of a period, so subsequent wakes
-					// coalesce and its memory-sweep throughput really
-					// drops — the mechanism behind UCSG's ~24 % refault
-					// reduction.
-					const parts = 3
-					var postPart func(k int)
-					postPart = func(k int) {
-						w := &proc.Work{
-							Name: "bg-wake",
-							Setup: func() (sim.Time, sim.Time) {
-								var c mm.Cost
-								if spec.BGSweep {
-									c = in.touchMixHot(touch/parts, hotBias)
-									if k == 0 {
-										// Slow background accretion (sync
-										// results, notifications), capped
-										// tightly.
-										c.Add(in.grow(1, 1.1))
-									}
-								} else {
-									c = in.touchHotCore(touch / parts)
-								}
-								return c.Stall, c.BlockUntil
-							},
-							CPU: rng.Jitter(cpu/parts, 0.3),
-						}
-						if k+1 < parts {
-							w.OnDone = func(_, _ sim.Time) {
-								// The chain is in-flight syscall work: the
-								// freezer only stops a task at its next
-								// freezable point, so a wake that already
-								// started runs to completion even if RPF
-								// froze the app at its first refault.
-								if seq == in.launchSeq && in.main.Alive() {
-									postPart(k + 1)
-								}
-							}
-						}
-						sys.Sched.Post(task, w)
-					}
-					postPart(0)
+					// Kick off the sub-phase chain. A starved task (UCSG's
+					// demoted background) holds its queue for most of a
+					// period, so subsequent wakes coalesce and its
+					// memory-sweep throughput really drops — the mechanism
+					// behind UCSG's ~24 % refault reduction.
+					wakeTouch, wakeHotBias, wakeCPU = touch, hotBias, cpu
+					first := partWork[0]
+					first.CPU = rng.Jitter(cpu/parts, 0.3)
+					sys.Sched.Post(task, first)
 					return true
 				})
 			})
@@ -338,6 +349,9 @@ func (in *Instance) startTimers() {
 		if !spec.BGSweep {
 			gcPeriod *= 3
 		}
+		// Completed GC Works recycle through a free list (the Setup closure
+		// reads only stream-invariant state, so one closure serves them all).
+		var free []*proc.Work
 		sys.Eng.Every(rng.Jitter(gcPeriod, 0.2), func() bool {
 			if seq != in.launchSeq || !in.main.Alive() {
 				return false
@@ -351,19 +365,28 @@ func (in *Instance) startTimers() {
 				// and ICE never needs to freeze them.
 				return true
 			}
-			sys.Sched.Post(in.gcTask, &proc.Work{
-				Name: "gc",
-				Setup: func() (sim.Time, sim.Time) {
-					var cost mm.Cost
-					n := int(float64(len(in.javaPages)) * spec.GCTouchFrac)
-					in.scratch = in.scratch[:0]
-					in.scratch = in.pick(in.javaPages, n, in.scratch)
-					cost.Add(sys.MM.Touch(in.MainPID(), in.scratch))
-					cost.Add(in.churnJava(spec.GCChurn))
-					return cost.Stall, cost.BlockUntil
-				},
-				CPU: rng.Jitter(scaleCPU(20*sim.Millisecond, sys), 0.4),
-			})
+			var w *proc.Work
+			if n := len(free); n > 0 {
+				w, free = free[n-1], free[:n-1]
+			} else {
+				w = &proc.Work{
+					Name: "gc",
+					Setup: func() (sim.Time, sim.Time) {
+						var cost mm.Cost
+						n := int(float64(len(in.javaPages)) * spec.GCTouchFrac)
+						in.scratch = in.scratch[:0]
+						in.scratch = in.pick(in.javaPages, n, in.scratch)
+						cost.Add(sys.MM.Touch(in.MainPID(), in.scratch))
+						cost.Add(in.churnJava(spec.GCChurn))
+						return cost.Stall, cost.BlockUntil
+					},
+				}
+				w.OnDone = func(_, _ sim.Time) { free = append(free, w) }
+			}
+			w.CPU = rng.Jitter(scaleCPU(20*sim.Millisecond, sys), 0.4)
+			if !sys.Sched.Post(in.gcTask, w) {
+				free = append(free, w)
+			}
 			return true
 		})
 	}
@@ -373,6 +396,7 @@ func (in *Instance) startTimers() {
 	// freezes at application grain.
 	if spec.HasService && spec.ServicePeriod > 0 {
 		rng := in.rng.Split()
+		var free []*proc.Work
 		sys.Eng.Every(rng.Jitter(spec.ServicePeriod, 0.25), func() bool {
 			if seq != in.launchSeq || in.svc == nil || !in.svc.Alive() {
 				return false
@@ -380,14 +404,23 @@ func (in *Instance) startTimers() {
 			if in.svc.Frozen() {
 				return true
 			}
-			sys.Sched.Post(in.svcTask, &proc.Work{
-				Name: "service",
-				Setup: func() (sim.Time, sim.Time) {
-					c := in.touchMix(spec.ServiceTouch)
-					return c.Stall, c.BlockUntil
-				},
-				CPU: rng.Jitter(scaleCPU(spec.ServiceCPU, sys), 0.3),
-			})
+			var w *proc.Work
+			if n := len(free); n > 0 {
+				w, free = free[n-1], free[:n-1]
+			} else {
+				w = &proc.Work{
+					Name: "service",
+					Setup: func() (sim.Time, sim.Time) {
+						c := in.touchMix(spec.ServiceTouch)
+						return c.Stall, c.BlockUntil
+					},
+				}
+				w.OnDone = func(_, _ sim.Time) { free = append(free, w) }
+			}
+			w.CPU = rng.Jitter(scaleCPU(spec.ServiceCPU, sys), 0.3)
+			if !sys.Sched.Post(in.svcTask, w) {
+				free = append(free, w)
+			}
 			return true
 		})
 	}
@@ -406,13 +439,13 @@ func (in *Instance) grow(n int, capFrac float64) mm.Cost {
 	nNative := n * 6 / 10
 	nJava := n - nNative
 	if nNative > 0 {
-		ids, c := in.sys.MM.Map(pid, in.UID, mm.AnonNative, nNative)
-		in.nativePages = append(in.nativePages, ids...)
+		var c mm.Cost
+		in.nativePages, c = in.sys.MM.MapAppend(in.nativePages, pid, in.UID, mm.AnonNative, nNative)
 		cost.Add(c)
 	}
 	if nJava > 0 {
-		ids, c := in.sys.MM.Map(pid, in.UID, mm.AnonJava, nJava)
-		in.javaPages = append(in.javaPages, ids...)
+		var c mm.Cost
+		in.javaPages, c = in.sys.MM.MapAppend(in.javaPages, pid, in.UID, mm.AnonJava, nJava)
 		cost.Add(c)
 	}
 	limit := int(float64(in.Spec.TotalPages()) * capFrac)
@@ -445,9 +478,9 @@ func (in *Instance) streamFile(n int) mm.Cost {
 	if completion > cost.BlockUntil {
 		cost.BlockUntil = completion
 	}
-	ids, c := in.sys.MM.Map(in.MainPID(), in.UID, mm.File, n)
+	var c mm.Cost
+	in.streamRing, c = in.sys.MM.MapAppend(in.streamRing, in.MainPID(), in.UID, mm.File, n)
 	cost.Add(c)
-	in.streamRing = append(in.streamRing, ids...)
 	if len(in.streamRing) > streamRingCap {
 		drop := len(in.streamRing) - streamRingCap
 		in.sys.MM.FreePagesOf(in.streamRing[:drop])
@@ -483,9 +516,9 @@ func (in *Instance) churnJava(churn int) mm.Cost {
 	for i := 0; i < churn; i++ {
 		idx := (start + i) % len(in.javaPages)
 		in.sys.MM.FreePagesOf(in.javaPages[idx : idx+1])
-		ids, c := in.sys.MM.Map(in.MainPID(), in.UID, mm.AnonJava, 1)
+		id, c := in.sys.MM.MapOne(in.MainPID(), in.UID, mm.AnonJava)
 		cost.Add(c)
-		in.javaPages[idx] = ids[0]
+		in.javaPages[idx] = id
 	}
 	in.churnIdx = (start + churn) % len(in.javaPages)
 	return cost
@@ -558,19 +591,29 @@ func (in *Instance) StartUsage() {
 		touch = 4
 	}
 	cpu := in.Spec.Render.BaseCPU / 3
+	var free []*proc.Work
 	sys.Eng.Every(66*sim.Millisecond, func() bool {
 		if seq != in.launchSeq || !in.usageActive || in.state != StateForeground {
 			in.usageActive = false
 			return false
 		}
-		sys.Sched.Post(in.uiTask, &proc.Work{
-			Name: "monkey",
-			Setup: func() (sim.Time, sim.Time) {
-				c := in.touchMix(touch)
-				return c.Stall, c.BlockUntil
-			},
-			CPU: rng.Jitter(scaleCPU(cpu, sys), 0.3),
-		})
+		var w *proc.Work
+		if n := len(free); n > 0 {
+			w, free = free[n-1], free[:n-1]
+		} else {
+			w = &proc.Work{
+				Name: "monkey",
+				Setup: func() (sim.Time, sim.Time) {
+					c := in.touchMix(touch)
+					return c.Stall, c.BlockUntil
+				},
+			}
+			w.OnDone = func(_, _ sim.Time) { free = append(free, w) }
+		}
+		w.CPU = rng.Jitter(scaleCPU(cpu, sys), 0.3)
+		if !sys.Sched.Post(in.uiTask, w) {
+			free = append(free, w)
+		}
 		return true
 	})
 }

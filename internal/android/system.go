@@ -75,6 +75,7 @@ type System struct {
 	kswapdProc   *proc.Process
 	kswapdTask   *proc.Task
 	kswapdQueued bool
+	kswapdWork   *proc.Work
 
 	// KswapdSteps counts reclaim quanta executed (debug/tests).
 	KswapdSteps uint64
@@ -132,38 +133,45 @@ func (sys *System) wakeKswapd() {
 }
 
 func (sys *System) postKswapdStep() {
-	var more bool
-	var starved bool
-	w := &proc.Work{
-		Name: "kswapd",
-		Setup: func() (sim.Time, sim.Time) {
-			sys.KswapdSteps++
-			cpu, reclaimed, m := sys.MM.KswapdStep()
-			more = m
-			starved = reclaimed == 0 && sys.MM.BelowHigh()
-			return cpu, 0
-		},
-		OnDone: func(_, _ sim.Time) {
-			if more {
-				sys.postKswapdStep()
-				return
-			}
-			// Memory may have been consumed while the last step ran (a
-			// wake-up attempted meanwhile was absorbed by kswapdQueued, so
-			// re-check the watermark ourselves). A starved kswapd stops
-			// regardless — there is nothing left to reclaim and spinning
-			// would burn the CPU the foreground needs.
-			if !starved && sys.MM.NeedKswapd() {
-				sys.postKswapdStep()
-				return
-			}
-			// Going to sleep: clear the manager's wanted flag so the next
-			// below-low allocation delivers a fresh wake-up.
-			sys.MM.KswapdSleep()
-			sys.kswapdQueued = false
-		},
+	// Reclaim quanta are strictly sequential (the next step is posted only
+	// from the previous step's OnDone, and wakeKswapd is absorbed by
+	// kswapdQueued while a chain runs), so one reusable Work serves the
+	// whole balance loop instead of allocating a Work plus two closures
+	// per reclaimed batch.
+	if sys.kswapdWork == nil {
+		var more bool
+		var starved bool
+		sys.kswapdWork = &proc.Work{
+			Name: "kswapd",
+			Setup: func() (sim.Time, sim.Time) {
+				sys.KswapdSteps++
+				cpu, reclaimed, m := sys.MM.KswapdStep()
+				more = m
+				starved = reclaimed == 0 && sys.MM.BelowHigh()
+				return cpu, 0
+			},
+			OnDone: func(_, _ sim.Time) {
+				if more {
+					sys.postKswapdStep()
+					return
+				}
+				// Memory may have been consumed while the last step ran (a
+				// wake-up attempted meanwhile was absorbed by kswapdQueued, so
+				// re-check the watermark ourselves). A starved kswapd stops
+				// regardless — there is nothing left to reclaim and spinning
+				// would burn the CPU the foreground needs.
+				if !starved && sys.MM.NeedKswapd() {
+					sys.postKswapdStep()
+					return
+				}
+				// Going to sleep: clear the manager's wanted flag so the next
+				// below-low allocation delivers a fresh wake-up.
+				sys.MM.KswapdSleep()
+				sys.kswapdQueued = false
+			},
+		}
 	}
-	sys.Sched.Post(sys.kswapdTask, w)
+	sys.Sched.Post(sys.kswapdTask, sys.kswapdWork)
 }
 
 // serviceStream describes one framework/kernel background load stream.
@@ -211,11 +219,22 @@ func (sys *System) bootServices() {
 func (sys *System) startServiceStream(t *proc.Task, s serviceStream) {
 	rng := sys.rng.Split()
 	cpu := sim.Time(float64(s.cpu) * sys.Dev.CPUFactor)
+	// Service streams post pure-CPU work every few hundred simulated
+	// milliseconds for the whole run; recycling completed Work items
+	// through a per-stream free list keeps this loop allocation-free.
+	var free []*proc.Work
 	sys.Eng.Every(rng.Jitter(s.period, 0.3), func() bool {
-		sys.Sched.Post(t, &proc.Work{
-			Name: s.task,
-			CPU:  rng.Jitter(cpu, s.jitter),
-		})
+		var w *proc.Work
+		if n := len(free); n > 0 {
+			w, free = free[n-1], free[:n-1]
+		} else {
+			w = &proc.Work{Name: s.task}
+			w.OnDone = func(_, _ sim.Time) { free = append(free, w) }
+		}
+		w.CPU = rng.Jitter(cpu, s.jitter)
+		if !sys.Sched.Post(t, w) {
+			free = append(free, w)
+		}
 		return true
 	})
 }
@@ -224,7 +243,7 @@ func (sys *System) startServiceStream(t *proc.Task, s serviceStream) {
 func (sys *System) KswapdQueued() bool { return sys.kswapdQueued }
 
 // Kick re-arms the scheduler; schemes call it after thawing processes.
-func (sys *System) Kick() { sys.Sched.Kick() }
+func (sys *System) Kick() { sys.Sched.WakeAll() }
 
 // EnableTracing attaches a Systrace-like ring buffer of the given capacity
 // (0 = default) and wires the framework's emit points.
@@ -265,7 +284,10 @@ func (sys *System) ThawApp(uid int) int {
 	if n > 0 {
 		sys.ins.thawProcs.Add(uint64(n))
 		sys.ins.frozenApps.Add(-1)
-		sys.Eng.After(sys.ThawLatency, sys.Sched.Kick)
+		// WakeAll, not Kick: the thawed tasks left the scheduler's
+		// candidate queue while frozen, and thawing is the one
+		// runnability transition the scheduler cannot see itself.
+		sys.Eng.After(sys.ThawLatency, sys.Sched.WakeAll)
 		// The thaw is a span: the app stays unrunnable for ThawLatency
 		// after the un-freeze (the paper's "tens of milliseconds").
 		sys.Trace.Span(now, trace.CatFreezer, "thaw", uid,

@@ -93,7 +93,7 @@ func (m *Manager) refault(id PageID, fileReads *int) Cost {
 	cost.Stall += m.lockWait(m.cfg.LockHoldPerOp, true)
 
 	if p.class.Anon() {
-		cost.Stall += m.z.Load(zram.CodecRef(p.zref), zram.PageInfo{Java: p.class == AnonJava, Heat: p.heat})
+		cost.Stall += m.z.Load(p.zref, zram.PageInfo{Java: p.class == AnonJava, Heat: p.heat})
 	} else {
 		*fileReads++
 	}

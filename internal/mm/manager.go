@@ -2,6 +2,7 @@ package mm
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/eurosys23/ice/internal/sim"
 	"github.com/eurosys23/ice/internal/storage"
@@ -199,9 +200,21 @@ type Manager struct {
 	resident  int
 	transient int
 
-	// byPID indexes each process's pages for per-process reclaim and exit
-	// teardown.
+	// byPID indexes each process's live (resident or evicted) pages, in
+	// mapping order, for per-process reclaim and exit teardown. Freed
+	// pages linger as tombstones only until deadInPID crosses half the
+	// slice, then an order-preserving sweep moves them to deadByPID, so
+	// per-process scans stay proportional to the live page count even
+	// under unbounded heap churn.
 	byPID map[int][]PageID
+	// deadByPID holds each process's freed page IDs until ExitProcess
+	// recycles their arena slots (recycling earlier would change arena
+	// growth and with it randomVictim's draw mapping — see page.mapSeq).
+	deadByPID map[int][]PageID
+	// deadInPID counts tombstoned entries still inside byPID.
+	deadInPID map[int]int
+	// mapClock stamps page.mapSeq in Map order.
+	mapClock uint64
 
 	fgUID int
 
@@ -225,6 +238,9 @@ type Manager struct {
 	swapFullPending bool
 
 	policy EvictionPolicy
+	// aggressive caches the policy's AggressivePolicy capability — the
+	// type assertion would otherwise run once per scanned page.
+	aggressive AggressivePolicy
 
 	thrash       thrashMeter
 	refaultMeter thrashMeter
@@ -249,14 +265,16 @@ func New(eng *sim.Engine, cfg Config, z *zram.Zram, disk *storage.Device) *Manag
 			cfg.MinWatermark, cfg.LowWatermark, cfg.HighWatermark))
 	}
 	m := &Manager{
-		eng:    eng,
-		rng:    eng.Rand().Split(),
-		cfg:    cfg,
-		z:      z,
-		disk:   disk,
-		byPID:  make(map[int][]PageID),
-		perUID: make(map[int]*Counter),
-		fgUID:  -1,
+		eng:       eng,
+		rng:       eng.Rand().Split(),
+		cfg:       cfg,
+		z:         z,
+		disk:      disk,
+		byPID:     make(map[int][]PageID),
+		deadByPID: make(map[int][]PageID),
+		deadInPID: make(map[int]int),
+		perUID:    make(map[int]*Counter),
+		fgUID:     -1,
 	}
 	for i := range m.lists {
 		m.lists[i] = newLRUList()
@@ -301,7 +319,10 @@ func (m *Manager) ForegroundUID() int { return m.fgUID }
 // SetEvictionPolicy installs a reclaim victim-selection policy (Acclaim's
 // foreground-aware eviction plugs in here). A nil policy restores default
 // LRU behaviour.
-func (m *Manager) SetEvictionPolicy(p EvictionPolicy) { m.policy = p }
+func (m *Manager) SetEvictionPolicy(p EvictionPolicy) {
+	m.policy = p
+	m.aggressive, _ = p.(AggressivePolicy)
+}
 
 // OnRefault registers a hook invoked synchronously on every refault.
 func (m *Manager) OnRefault(fn func(RefaultEvent)) {
@@ -455,34 +476,62 @@ func (m *Manager) lockWait(hold sim.Time, charge bool) sim.Time {
 }
 
 // Map creates n resident pages of the given class for process pid/uid and
-// returns their IDs plus the cost of the allocation. Mapping is how cold
-// launches and heap growth acquire memory; it passes through the watermark
-// machinery (charged once per batch, like the kernel's bulk allocation
-// paths) and can therefore stall in direct reclaim.
+// returns their IDs plus the cost of the allocation. Hot callers that keep
+// their own page lists should use MapAppend instead, which writes into a
+// caller-owned slice and avoids the per-batch allocation here.
 func (m *Manager) Map(pid, uid int, class Class, n int) ([]PageID, Cost) {
-	ids := make([]PageID, 0, n)
+	return m.MapAppend(make([]PageID, 0, n), pid, uid, class, n)
+}
+
+// MapAppend creates n resident pages of the given class for process
+// pid/uid, appending their IDs to dst (returned like append). Mapping is
+// how cold launches and heap growth acquire memory; it passes through the
+// watermark machinery (charged once per batch, like the kernel's bulk
+// allocation paths) and can therefore stall in direct reclaim.
+func (m *Manager) MapAppend(dst []PageID, pid, uid int, class Class, n int) ([]PageID, Cost) {
 	cost := m.chargeAlloc(n)
+	// Look the index slice up once per batch (after chargeAlloc, whose
+	// pressure hooks may tear processes down), not once per page.
+	pages := m.byPID[pid]
 	for i := 0; i < n; i++ {
-		id := m.allocSlot()
-		p := &m.arena[id]
-		*p = page{
-			pid:   int32(pid),
-			uid:   int32(uid),
-			class: class,
-			state: Resident,
-			list:  lNone,
-			prev:  nilPage,
-			next:  nilPage,
-		}
-		if class == File {
-			p.dirty = m.rng.Bool(m.cfg.DirtyFileFraction)
-		}
-		m.resident++
-		m.addToLRU(id, inactiveList(class))
-		m.byPID[pid] = append(m.byPID[pid], id)
-		ids = append(ids, id)
+		id := m.mapPage(pid, uid, class)
+		pages = append(pages, id)
+		dst = append(dst, id)
 	}
-	return ids, cost
+	m.byPID[pid] = pages
+	return dst, cost
+}
+
+// MapOne creates a single resident page, the churn-path variant (GC
+// compaction remaps pages one at a time) that never touches a slice.
+func (m *Manager) MapOne(pid, uid int, class Class) (PageID, Cost) {
+	cost := m.chargeAlloc(1)
+	id := m.mapPage(pid, uid, class)
+	m.byPID[pid] = append(m.byPID[pid], id)
+	return id, cost
+}
+
+// mapPage initialises a fresh page in the arena and links it resident.
+func (m *Manager) mapPage(pid, uid int, class Class) PageID {
+	id := m.allocSlot()
+	p := &m.arena[id]
+	m.mapClock++
+	*p = page{
+		pid:    int32(pid),
+		uid:    int32(uid),
+		class:  class,
+		state:  Resident,
+		list:   lNone,
+		prev:   nilPage,
+		next:   nilPage,
+		mapSeq: m.mapClock,
+	}
+	if class == File {
+		p.dirty = m.rng.Bool(m.cfg.DirtyFileFraction)
+	}
+	m.resident++
+	m.addToLRU(id, inactiveList(class))
+	return id
 }
 
 // chargeAlloc performs the watermark checks for allocating n physical pages
@@ -558,6 +607,50 @@ func (m *Manager) FreePagesOf(ids []PageID) {
 
 func (m *Manager) freePage(id PageID) {
 	p := &m.arena[id]
+	if p.state == Dead {
+		return
+	}
+	m.killPage(id)
+	pid := int(p.pid)
+	m.deadInPID[pid]++
+	// Amortised index compaction: once tombstones outnumber live entries,
+	// sweep them out (order-preserving) so per-process scans and the index
+	// itself stay proportional to the live page count. A swap-remove would
+	// be O(1) per free but permutes byPID order, and both ReclaimProcess's
+	// eviction-epoch assignment and ExitProcess's slot recycling are
+	// order-sensitive — reordering them changes results byte-for-byte.
+	if ids := m.byPID[pid]; len(ids) >= compactMinLen && m.deadInPID[pid]*2 > len(ids) {
+		m.compactPID(pid)
+	}
+}
+
+// compactMinLen is the smallest byPID slice worth compacting.
+const compactMinLen = 64
+
+// compactPID sweeps pid's tombstoned entries out of byPID (preserving
+// mapping order) and parks them on deadByPID for exit-time slot recycling.
+func (m *Manager) compactPID(pid int) {
+	ids := m.byPID[pid]
+	dead := m.deadByPID[pid]
+	live := ids[:0]
+	for _, id := range ids {
+		if m.arena[id].state == Dead {
+			dead = append(dead, id)
+		} else {
+			live = append(live, id)
+		}
+	}
+	m.byPID[pid] = live
+	m.deadByPID[pid] = dead
+	m.deadInPID[pid] = 0
+}
+
+// killPage transitions one page to Dead, releasing its residency or swap
+// slot. The arena slot itself is recycled only by ExitProcess: recycling
+// earlier would change how fast the arena grows, and with it the page that
+// each of randomVictim's arena draws lands on.
+func (m *Manager) killPage(id PageID) {
+	p := &m.arena[id]
 	switch p.state {
 	case Resident:
 		if p.list != lNone {
@@ -567,28 +660,36 @@ func (m *Manager) freePage(id PageID) {
 		m.resident--
 	case Evicted:
 		if p.class.Anon() {
-			m.z.Drop(zram.CodecRef(p.zref), zram.PageInfo{Java: p.class == AnonJava})
+			m.z.Drop(p.zref, zram.PageInfo{Java: p.class == AnonJava})
 		}
 	case Dead:
 		return
 	}
 	p.state = Dead
-	// The arena slot is recycled when the owning process exits (see
-	// ExitProcess); freeing the slot here would invalidate byPID entries.
 }
 
 // ExitProcess tears down every page of pid (LMK kill or app removal).
 func (m *Manager) ExitProcess(pid int) {
-	ids := m.byPID[pid]
+	ids := append(m.byPID[pid], m.deadByPID[pid]...)
+	// Recycle arena slots in mapping order — exactly the order the old
+	// append-only index yielded — so later allocations reuse slots
+	// byte-identically no matter how compaction interleaved with frees.
+	sort.Slice(ids, func(i, j int) bool {
+		return m.arena[ids[i]].mapSeq < m.arena[ids[j]].mapSeq
+	})
 	for _, id := range ids {
-		m.freePage(id)
-		m.freeSlots = append(m.freeSlots, id)
+		m.killPage(id)
 	}
+	m.freeSlots = append(m.freeSlots, ids...)
 	delete(m.byPID, pid)
+	delete(m.deadByPID, pid)
+	delete(m.deadInPID, pid)
 }
 
-// PagesOf returns the page IDs mapped by pid (the live slice; callers must
-// not mutate it).
+// PagesOf returns the page IDs mapped by pid (the live index slice;
+// callers must not mutate it). Freed pages disappear from the index once
+// compaction sweeps them, so the slice may still contain a bounded number
+// of Dead tombstones.
 func (m *Manager) PagesOf(pid int) []PageID { return m.byPID[pid] }
 
 // ResidentOf counts pid's resident pages.

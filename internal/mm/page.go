@@ -16,7 +16,11 @@
 // 4 KiB-equivalent counts where that aids comparison with the paper.
 package mm
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/eurosys23/ice/internal/zram"
+)
 
 // PagesPerSimPage is the scale factor between a simulated page and real
 // 4 KiB pages.
@@ -94,11 +98,20 @@ type page struct {
 	heat uint8
 	// zref is the zram.CodecRef of an Evicted anonymous page's swap
 	// entry — which codec compressed it, so Load/Drop account exactly.
-	zref uint8
+	// Typed as the real CodecRef (not a narrower integer) so widening
+	// the codec-reference space can never silently truncate here.
+	zref zram.CodecRef
 	// evictEpoch is the workingset shadow entry: the value of the manager's
 	// eviction clock when the page was reclaimed. The refault distance is
 	// the clock delta at refault time.
 	evictEpoch uint64
+	// mapSeq is the page's position in the manager's global mapping order.
+	// ExitProcess recycles a process's arena slots in exactly this order —
+	// the order the old append-only byPID index produced — so compacting
+	// dead entries out of byPID cannot perturb slot reuse, which would
+	// change which pages randomVictim's arena draws land on and break
+	// byte-identity.
+	mapSeq uint64
 }
 
 // heatMax saturates the per-page hotness counter.

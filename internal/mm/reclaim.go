@@ -77,8 +77,7 @@ func (m *Manager) randomVictim() (PageID, bool) {
 		if p.referenced {
 			// Aggressive policies (Acclaim's FAE) sacrifice even active
 			// background pages.
-			ap, ok := m.policy.(AggressivePolicy)
-			if !ok || !ap.EvictReferenced(int(p.uid), m.fgUID) {
+			if m.aggressive == nil || !m.aggressive.EvictReferenced(int(p.uid), m.fgUID) {
 				continue
 			}
 		}
@@ -151,7 +150,7 @@ func (m *Manager) reclaimPages(target int) reclaimResult {
 
 		if p.referenced {
 			evictAnyway := false
-			if ap, ok := m.policy.(AggressivePolicy); ok && ap.EvictReferenced(int(p.uid), m.fgUID) {
+			if m.aggressive != nil && m.aggressive.EvictReferenced(int(p.uid), m.fgUID) {
 				evictAnyway = true
 			}
 			if !evictAnyway {
@@ -180,7 +179,7 @@ func (m *Manager) reclaimPages(target int) reclaimResult {
 				m.addToLRU(id, activeList(p.class))
 				continue
 			}
-			p.zref = uint8(ref)
+			p.zref = ref
 			res.cpu += cost
 		}
 		cheapDrop := p.class == File && !p.dirty
@@ -299,7 +298,7 @@ func (m *Manager) ReclaimProcess(pid int) int {
 				m.noteSwapFull()
 				continue
 			}
-			p.zref = uint8(ref)
+			p.zref = ref
 		} else if p.dirty {
 			writeback++
 			p.dirty = false

@@ -93,6 +93,11 @@ type Task struct {
 
 	// DroppedWork counts items rejected because the queue was full.
 	DroppedWork uint64
+
+	// InRunq is scheduler bookkeeping: whether the task currently sits on
+	// the scheduler's runnable-candidate queue. Owned by internal/sched;
+	// nothing else may touch it.
+	InRunq bool
 }
 
 // DefaultWeight is the CFS nice-0 load weight.

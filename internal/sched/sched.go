@@ -9,8 +9,6 @@
 package sched
 
 import (
-	"sort"
-
 	"github.com/eurosys23/ice/internal/obs"
 	"github.com/eurosys23/ice/internal/proc"
 	"github.com/eurosys23/ice/internal/sim"
@@ -93,12 +91,28 @@ type Scheduler struct {
 	fgUID  int
 	weight func(*proc.Task) int
 	speed  func(*proc.Task) float64
+	// speedDefault short-circuits the per-task speed call while no speed
+	// policy is installed (the common case outside UCSG).
+	speedDefault bool
 
 	tasks []*proc.Task
+
+	// runq is a superset of the runnable tasks: every task that might be
+	// runnable is on it (flagged via Task.InRunq), and tick filters it with
+	// Task.Runnable. Tasks found non-runnable are dropped and re-added by
+	// the event that could make them runnable again — Post for new work,
+	// the unblock callback for I/O completion, WakeAll for thaws (the one
+	// runnability transition the scheduler cannot observe directly). The
+	// superset invariant makes the per-tick filter produce exactly the set
+	// a full task-list scan would, at O(candidates) instead of O(tasks).
+	runq []*proc.Task
 
 	tickArmed   bool
 	nextAllowed sim.Time
 	minV        int64
+	// compactAt is the task-list length that triggers the next dead-task
+	// compaction from Register.
+	compactAt int
 
 	busy       [numCPUClasses]sim.Time
 	busyPerSec []sim.Time
@@ -106,6 +120,18 @@ type Scheduler struct {
 
 	// scratch avoids per-tick allocation.
 	scratch []*proc.Task
+	// inTick marks that a scheduling round is executing; Posts arriving
+	// from OnDone/Setup callbacks are recorded in posted so the end-of-round
+	// re-arm check can consider exactly the tasks that may have become
+	// runnable mid-round instead of re-scanning the whole task list.
+	inTick bool
+	posted []*proc.Task
+	// tickFn is the bound tick method, captured once so re-arming the
+	// tick does not allocate a fresh method value per event.
+	tickFn func()
+	// unblockFns holds one prebuilt unblock-and-kick callback per
+	// registered task, so I/O completions never allocate a closure.
+	unblockFns map[*proc.Task]func()
 
 	quanta   [numCPUClasses]*obs.Counter
 	runqueue *obs.Gauge
@@ -120,6 +146,10 @@ func New(eng *sim.Engine, cores int) *Scheduler {
 	s := &Scheduler{eng: eng, cores: cores, fgUID: -1}
 	s.weight = func(t *proc.Task) int { return t.Weight }
 	s.speed = func(*proc.Task) float64 { return 1 }
+	s.speedDefault = true
+	s.tickFn = s.tick
+	s.unblockFns = make(map[*proc.Task]func())
+	s.compactAt = 64
 	reg := eng.Obs()
 	s.quanta[CPUKernel] = reg.Counter("sched.quanta.kernel")
 	s.quanta[CPUService] = reg.Counter("sched.quanta.service")
@@ -139,6 +169,7 @@ func (s *Scheduler) SetTrace(b *trace.Buffer) { s.tr = b }
 // (e.g. UCSG pinning background tasks to slow cores) are modelled. nil
 // restores uniform speed 1.
 func (s *Scheduler) SetSpeedFn(fn func(*proc.Task) float64) {
+	s.speedDefault = fn == nil
 	if fn == nil {
 		fn = func(*proc.Task) float64 { return 1 }
 	}
@@ -151,7 +182,58 @@ func (s *Scheduler) Cores() int { return s.cores }
 // Register adds a task to the scheduler's purview. Tasks are never removed;
 // dead processes simply stop being runnable.
 func (s *Scheduler) Register(t *proc.Task) {
+	// Dead tasks normally compact out of s.tasks when tick meets one on
+	// the candidate queue — but a task killed while off the queue (frozen
+	// or idle) is never seen there, so launch loops would grow the list
+	// and the unblock-callback table without bound. Compacting whenever
+	// registrations double the list keeps both O(live); the trigger
+	// depends only on the registration sequence, so it cannot perturb
+	// event order.
+	if len(s.tasks) >= s.compactAt {
+		live := s.tasks[:0]
+		for _, old := range s.tasks {
+			if !old.Proc.Alive() {
+				delete(s.unblockFns, old)
+				continue
+			}
+			live = append(live, old)
+		}
+		for i := len(live); i < len(s.tasks); i++ {
+			s.tasks[i] = nil
+		}
+		s.tasks = live
+		s.compactAt = 2*len(live) + 64
+	}
 	s.tasks = append(s.tasks, t)
+	s.enqueue(t)
+	if _, ok := s.unblockFns[t]; !ok {
+		s.unblockFns[t] = func() {
+			t.Unblock()
+			s.enqueue(t)
+			s.Kick()
+		}
+	}
+}
+
+// enqueue puts t on the runnable-candidate queue (idempotent).
+func (s *Scheduler) enqueue(t *proc.Task) {
+	if t.InRunq {
+		return
+	}
+	t.InRunq = true
+	s.runq = append(s.runq, t)
+}
+
+// WakeAll re-enqueues every live task as a runnable candidate and kicks the
+// scheduler. Callers use it after runnability changed outside the
+// scheduler's sight — thawing frozen processes is the one such transition.
+func (s *Scheduler) WakeAll() {
+	for _, t := range s.tasks {
+		if t.Proc.Alive() {
+			s.enqueue(t)
+		}
+	}
+	s.Kick()
 }
 
 // SetForegroundUID tells the scheduler which UID is foreground, for CPU
@@ -185,14 +267,15 @@ func (s *Scheduler) Stats() Stats {
 	return st
 }
 
-// Kick ensures a scheduling tick is pending. Call after making any task
-// runnable (posting work, unblocking, thawing).
+// Kick ensures a scheduling tick is pending. Posting and unblocking call
+// it automatically; after thawing processes use WakeAll instead, which
+// both re-enqueues the thawed tasks and kicks.
 func (s *Scheduler) Kick() {
 	if s.tickArmed {
 		return
 	}
 	s.tickArmed = true
-	s.eng.After(0, s.tick)
+	s.eng.After(0, s.tickFn)
 }
 
 // Post enqueues work on t and kicks the scheduler. This is the preferred
@@ -200,6 +283,10 @@ func (s *Scheduler) Kick() {
 func (s *Scheduler) Post(t *proc.Task, w *proc.Work) bool {
 	ok := t.Post(s.eng.Now(), w)
 	if ok {
+		s.enqueue(t)
+		if s.inTick {
+			s.posted = append(s.posted, t)
+		}
 		s.Kick()
 	}
 	return ok
@@ -256,16 +343,52 @@ func (s *Scheduler) tick() {
 	// throughout: Kicks issued while executing must not enqueue duplicate
 	// tick events.
 	if now < s.nextAllowed {
-		s.eng.At(s.nextAllowed, s.tick)
+		s.eng.At(s.nextAllowed, s.tickFn)
 		return
 	}
 	s.nextAllowed = now + Quantum
 
+	// One pass filters the candidate queue down to the runnable set.
+	// Candidates found non-runnable leave the queue — whatever event could
+	// make them runnable again re-enqueues them (see the runq field).
+	// Seeing a dead task triggers a (rare) compaction of the full task
+	// list: killed applications relaunch with fresh processes and tasks,
+	// so a dead task can never become runnable again, and scan-heavy
+	// scenarios (launch loops, per-process reclaim studies) would
+	// otherwise grow the list without bound.
 	runnable := s.scratch[:0]
-	for _, t := range s.tasks {
-		if t.Runnable(now) {
-			runnable = append(runnable, t)
+	keep := s.runq[:0]
+	dead := 0
+	for _, t := range s.runq {
+		if !t.Proc.Alive() {
+			t.InRunq = false
+			dead++
+			continue
 		}
+		if t.Runnable(now) {
+			keep = append(keep, t)
+			runnable = append(runnable, t)
+		} else {
+			t.InRunq = false
+		}
+	}
+	for i := len(keep); i < len(s.runq); i++ {
+		s.runq[i] = nil
+	}
+	s.runq = keep
+	if dead > 0 {
+		live := s.tasks[:0]
+		for _, t := range s.tasks {
+			if !t.Proc.Alive() {
+				delete(s.unblockFns, t)
+				continue
+			}
+			live = append(live, t)
+		}
+		for i := len(live); i < len(s.tasks); i++ {
+			s.tasks[i] = nil
+		}
+		s.tasks = live
 	}
 	s.scratch = runnable
 	s.runqueue.Set(int64(len(runnable)))
@@ -274,6 +397,7 @@ func (s *Scheduler) tick() {
 		s.tickArmed = false
 		return
 	}
+	s.inTick = true
 
 	// Normalise virtual runtimes so long sleepers don't monopolise cores.
 	min := runnable[0].VRuntime
@@ -292,31 +416,50 @@ func (s *Scheduler) tick() {
 		}
 	}
 
-	sort.Slice(runnable, func(i, j int) bool {
-		if runnable[i].VRuntime != runnable[j].VRuntime {
-			return runnable[i].VRuntime < runnable[j].VRuntime
-		}
-		return runnable[i].TID < runnable[j].TID
-	})
-
+	// Partial selection: only the cores lowest-vruntime tasks run this
+	// quantum, so selecting them in order (O(cores·n), allocation-free)
+	// replaces a full reflect-driven sort. (VRuntime, TID) is a strict
+	// total order — TIDs are unique — so the selected prefix is exactly
+	// the prefix a full sort would produce.
 	n := len(runnable)
 	if n > s.cores {
 		n = s.cores
 	}
-	for _, t := range runnable[:n] {
-		speed := s.speed(t)
-		if speed <= 0 {
-			speed = 1
+	for i := 0; i < n; i++ {
+		min := i
+		for j := i + 1; j < len(runnable); j++ {
+			if runnable[j].VRuntime < runnable[min].VRuntime ||
+				(runnable[j].VRuntime == runnable[min].VRuntime && runnable[j].TID < runnable[min].TID) {
+				min = j
+			}
 		}
-		workBudget := sim.Time(float64(Quantum) * speed)
-		if workBudget < 1 {
-			workBudget = 1
+		runnable[i], runnable[min] = runnable[min], runnable[i]
+	}
+	for _, t := range runnable[:n] {
+		speed := 1.0
+		if !s.speedDefault {
+			speed = s.speed(t)
+			if speed <= 0 {
+				speed = 1
+			}
+		}
+		workBudget := Quantum
+		if speed != 1 {
+			// Only off-speed tasks need the float scaling; the common
+			// uniform-speed case stays in integer arithmetic.
+			workBudget = sim.Time(float64(Quantum) * speed)
+			if workBudget < 1 {
+				workBudget = 1
+			}
 		}
 		used, blockedUntil := t.Execute(now, workBudget)
 		if used > 0 {
 			// Core occupancy is the work done divided by the speed: a slow
 			// task burns full quanta to make partial progress.
-			coreTime := sim.Time(float64(used) / speed)
+			coreTime := used
+			if speed != 1 {
+				coreTime = sim.Time(float64(used) / speed)
+			}
 			if coreTime > Quantum {
 				coreTime = Quantum
 			}
@@ -324,7 +467,11 @@ func (s *Scheduler) tick() {
 			if w <= 0 {
 				w = proc.DefaultWeight
 			}
-			t.VRuntime += int64(coreTime) * proc.DefaultWeight / int64(w)
+			if w == proc.DefaultWeight {
+				t.VRuntime += int64(coreTime)
+			} else {
+				t.VRuntime += int64(coreTime) * proc.DefaultWeight / int64(w)
+			}
 			class := s.classify(t)
 			s.noteBusy(class, coreTime)
 			s.quanta[class].Inc()
@@ -332,21 +479,40 @@ func (s *Scheduler) tick() {
 				coreTime, int64(used), int64(t.Proc.UID))
 		}
 		if blockedUntil > 0 {
-			task := t
-			s.eng.At(blockedUntil, func() {
-				task.Unblock()
-				s.Kick()
-			})
+			s.eng.At(blockedUntil, s.unblockFns[t])
 		}
 	}
 
 	// Re-arm while anything can still run; otherwise disarm so the next
-	// Kick restarts the loop.
-	for _, t := range s.tasks {
+	// Kick restarts the loop. A task is runnable here iff it was in this
+	// round's runnable set and still is, or had work posted mid-round (the
+	// only way a task gains runnability inside a round — unfreezes, thaw
+	// expiries and I/O unblocks arrive as separate engine events, and
+	// simulated time does not advance within a round). Checking those two
+	// small sets is exactly equivalent to re-scanning every task.
+	s.inTick = false
+	rearm := false
+	for _, t := range runnable {
 		if t.Runnable(now) {
-			s.eng.At(s.nextAllowed, s.tick)
-			return
+			rearm = true
+			break
 		}
+	}
+	if !rearm {
+		for _, t := range s.posted {
+			if t.Runnable(now) {
+				rearm = true
+				break
+			}
+		}
+	}
+	for i := range s.posted {
+		s.posted[i] = nil
+	}
+	s.posted = s.posted[:0]
+	if rearm {
+		s.eng.At(s.nextAllowed, s.tickFn)
+		return
 	}
 	s.tickArmed = false
 }

@@ -93,7 +93,9 @@ func TestFrozenTaskGetsNoCPU(t *testing.T) {
 		t.Fatal("frozen task consumed CPU")
 	}
 	p.Thaw(eng.Now(), 0)
-	s.Kick()
+	// Thawing happens outside the scheduler's sight, so the wake-up must
+	// go through WakeAll (as the android layer's thaw path does).
+	s.WakeAll()
 	eng.RunFor(50 * sim.Millisecond)
 	if task.CPUTime != 10*sim.Millisecond {
 		t.Fatalf("thawed task got %v", task.CPUTime)
