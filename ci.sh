@@ -5,23 +5,29 @@
 #   race-free at any -workers setting), a flake guard re-running the
 #   concurrency-heavy packages, a one-iteration benchmark smoke pass
 #   (benchmarks must at least run; their cells/sec, allocs/cell and
-#   p50/p99 per-cell latency metrics are written to BENCH_9.json, and
-#   each benchmark's cells/sec is compared against the previous PR's
-#   snapshot — a >10% regression fails the gate), a
+#   p50/p99 per-cell latency metrics are written to BENCH_<n>.json —
+#   n derived from the highest committed snapshot, no hand edit per
+#   PR — and each benchmark's cells/sec is compared against the
+#   previous PR's snapshot: a >10% regression fails the gate), a
 #   golden-file check on the Perfetto trace exporter, the scheme
 #   byte-identity goldens (every registered policy scheme's fixed-seed
 #   result hash), an icesimd smoke test (boot with a state dir,
 #   health check, one cached job round-trip, the Prometheus exposition
 #   on /metrics in both negotiated forms, SIGTERM drain, then a
 #   restart on the same state dir that must serve the job
-#   byte-identical from the persistent result store), and a multi-node
-#   smoke test (coordinator + two workers shard a job and must match
-#   the single-node bytes, including after one worker is SIGKILLed;
-#   /fleet/metrics must carry every peer's series under peer labels
-#   and flip the dead worker's ice_peer_up gauge to 0), and an auth
-#   smoke test (a token-file daemon must 401 unauthenticated submits,
-#   round-trip an authenticated job, and 429 a submit that overruns the
-#   principal's max-queued quota — while health and metrics stay open).
+#   byte-identical from the persistent result store), a multi-node
+#   smoke test (coordinator + two workers steal a job's chunks and
+#   must match the single-node bytes, including after one worker is
+#   SIGKILLed mid-rotation, with the chunk requeued; a worker booted
+#   AFTER the coordinator must join at runtime and lease chunks from
+#   an already-running job; a fresh coordinator submitting a fleet-warm
+#   spec must answer from a peer's cache with zero locally simulated
+#   cells; /fleet/metrics must carry every peer's series under peer
+#   labels and flip the dead worker's ice_peer_up gauge to 0), and an
+#   auth smoke test (a token-file daemon must 401 unauthenticated
+#   submits, round-trip an authenticated job, and 429 a submit that
+#   overruns the principal's max-queued quota — while health and
+#   metrics stay open).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -44,12 +50,18 @@ go test -race -count=2 -timeout 20m ./internal/harness/ ./internal/service/
 
 # Benchmarks stay runnable: one iteration each, no timing claims — and
 # their cells/sec + allocs/cell + per-cell latency percentile metrics
-# are snapshotted into BENCH_9.json so the perf trajectory the ROADMAP
-# asks for accumulates one file per PR. Each benchmark's cells/sec is
-# then compared against the previous PR's snapshot (BENCH_8.json): a
-# drop of more than 10% fails the gate, so a hot-path regression can't
-# land silently. The 1x runs are noisy; 10% is wide enough that only a
-# real regression (not scheduling jitter) trips it.
+# are snapshotted into BENCH_<n>.json so the perf trajectory the
+# ROADMAP asks for accumulates one file per PR. The PR number is
+# derived from the highest BENCH snapshot already committed (so a
+# re-run never bumps it), and each benchmark's cells/sec is compared
+# against that previous snapshot: a drop of more than 10% fails the
+# gate, so a hot-path regression can't land silently. The 1x runs are
+# noisy; 10% is wide enough that only a real regression (not
+# scheduling jitter) trips it.
+benchprev=$( (git ls-files 'BENCH_*.json' 2>/dev/null || ls BENCH_*.json 2>/dev/null) \
+    | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
+benchcur=$(( ${benchprev:-0} + 1 ))
+echo "bench snapshot: BENCH_${benchcur}.json (previous: ${benchprev:-none})"
 benchout=$(mktemp)
 go test -run='^$' -bench=. -benchtime=1x ./... | tee "$benchout"
 awk '
@@ -71,12 +83,12 @@ BEGIN { print "[" }
     }
 }
 END { print "\n]" }
-' "$benchout" > BENCH_9.json
+' "$benchout" > "BENCH_${benchcur}.json"
 rm -f "$benchout"
-grep -q cells_per_sec BENCH_9.json || { echo "BENCH_9.json has no bench rows" >&2; exit 1; }
-grep -q p99_cell_us BENCH_9.json || { echo "BENCH_9.json has no per-cell latency column" >&2; exit 1; }
+grep -q cells_per_sec "BENCH_${benchcur}.json" || { echo "BENCH_${benchcur}.json has no bench rows" >&2; exit 1; }
+grep -q p99_cell_us "BENCH_${benchcur}.json" || { echo "BENCH_${benchcur}.json has no per-cell latency column" >&2; exit 1; }
 
-if [ -f BENCH_8.json ]; then
+if [ -n "$benchprev" ] && [ -f "BENCH_${benchprev}.json" ]; then
     awk '
     FNR == 1 { file++ }
     /"bench"/ {
@@ -97,8 +109,8 @@ if [ -f BENCH_8.json ]; then
         }
         exit bad
     }
-    ' BENCH_8.json BENCH_9.json \
-        || { echo "benchmark throughput regressed >10% vs BENCH_8.json" >&2; exit 1; }
+    ' "BENCH_${benchprev}.json" "BENCH_${benchcur}.json" \
+        || { echo "benchmark throughput regressed >10% vs BENCH_${benchprev}.json" >&2; exit 1; }
 fi
 
 # The Perfetto exporter's output is pinned byte-for-byte; a drift means
@@ -115,8 +127,16 @@ go test -run=TestSchemeGolden ./internal/workload/
 # the result cache), SIGTERM and require a clean drain — then restart
 # the daemon on the same state dir and require the identical job to be
 # served byte-identical from the disk store without re-simulating.
-smokedir=$(mktemp -d)
-trap 'rm -rf "$smokedir"' EXIT
+# ICESIMD_SMOKE_DIR keeps the smoke daemons' logs in a known place
+# (the GitHub workflow uploads them as artifacts on failure); default
+# is a throwaway temp dir.
+if [ -n "${ICESIMD_SMOKE_DIR:-}" ]; then
+    smokedir=$ICESIMD_SMOKE_DIR
+    mkdir -p "$smokedir"
+else
+    smokedir=$(mktemp -d)
+    trap 'rm -rf "$smokedir"' EXIT
+fi
 go build -o "$smokedir/icesimd" ./cmd/icesimd
 
 # boot_icesimd LOG [ARGS...] — start a daemon on a random port, wait for
@@ -222,38 +242,101 @@ done
 [ "$(grep -c '^# TYPE ice_service_cache_hits_total ' "$smokedir/fleet")" -eq 1 ] \
     || { echo "fleet scrape duplicated family headers" >&2; exit 1; }
 
-# A 2-axis experiment (bg-count × round), sharded vs single-node.
+# A 2-axis experiment (bg-count × round), sharded vs single-node. The
+# sharded run goes first: the fleet is cold, so the coordinator's
+# peer-cache probe misses and the job genuinely shards. (Running w1's
+# single-node copy first would let the coordinator answer from w1's
+# store instead of simulating — that path gets its own leg below.)
 specA='{"kind":"experiment","experiment":"table1","fast":true}'
-curl -sf -X POST "http://$w1/jobs" -d "$specA" >/dev/null
-wait_done "http://$w1" job-1
-curl -sf "http://$w1/jobs/job-1/result" >"$smokedir/single"
 curl -sf -X POST "http://$coord/jobs" -d "$specA" >/dev/null
 wait_done "http://$coord" job-1
 curl -sf "http://$coord/jobs/job-1/result" >"$smokedir/sharded"
+curl -sf -X POST "http://$w1/jobs" -d "$specA" >/dev/null
+wait_done "http://$w1" job-1
+curl -sf "http://$w1/jobs/job-1/result" >"$smokedir/single"
 cmp -s "$smokedir/single" "$smokedir/sharded" \
     || { echo "sharded experiment result not byte-identical to single-node" >&2; exit 1; }
 curl -sf "http://$coord/metrics" | grep 'service\.shard\.remote_cells' | awk '{ exit !($3 > 0) }' \
     || { echo "no cells executed remotely" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+curl -sf "http://$coord/metrics" | grep 'service\.shard\.steals' | awk '{ exit !($3 > 0) }' \
+    || { echo "no chunks stolen by workers" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+
+# Late-join steal: a coordinator with NO workers starts a job, then a
+# worker boots afterwards, announces itself with -join, and must lease
+# chunks from the already-running job — the runtime-membership half of
+# the work-stealing dispatcher. Single local worker + one-cell chunks
+# keep plenty of stealable work around while the late worker boots.
+specC='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":10,"rounds":16,"seed":47}'
+curl -sf -X POST "http://$w1/jobs" -d "$specC" >/dev/null
+wait_done "http://$w1" job-2
+curl -sf "http://$w1/jobs/job-2/result" >"$smokedir/single3"
+boot_icesimd "$smokedir/coord2.log" -role coordinator -workers 1 -shard-chunk-cells 1
+coord2=$addr; coord2pid=$daemon
+curl -sf -X POST "http://$coord2/jobs" -d "$specC" >/dev/null
+boot_icesimd "$smokedir/w3.log" -role worker -join "$coord2" -join-interval 0.2s
+w3=$addr; w3pid=$daemon
+wait_done "http://$coord2" job-1
+curl -sf "http://$coord2/jobs/job-1/result" >"$smokedir/latejoin"
+cmp -s "$smokedir/single3" "$smokedir/latejoin" \
+    || { echo "late-join result not byte-identical to single-node" >&2; exit 1; }
+curl -sf "http://$coord2/metrics" | grep 'service\.shard\.steals' | awk '{ exit !($3 > 0) }' \
+    || { echo "late-joined worker leased no chunks" >&2; curl -sf "http://$coord2/metrics" >&2; exit 1; }
+curl -sf "http://$coord2/metrics" | grep 'service\.fleet\.peer_joins' | awk '{ exit !($3 >= 1) }' \
+    || { echo "runtime join not counted" >&2; exit 1; }
+# The worker deregisters on drain, and the coordinator counts the leave.
+kill -TERM "$w3pid"
+wait "$w3pid" || { echo "late-join worker did not drain cleanly" >&2; cat "$smokedir/w3.log" >&2; exit 1; }
+curl -sf "http://$coord2/metrics" | grep 'service\.fleet\.peer_leaves' | awk '{ exit !($3 >= 1) }' \
+    || { echo "worker leave not counted" >&2; curl -sf "http://$coord2/metrics" >&2; exit 1; }
+kill -TERM "$coord2pid"
+wait "$coord2pid" || { echo "late-join coordinator did not drain cleanly" >&2; cat "$smokedir/coord2.log" >&2; exit 1; }
+
+# Fleet-warm cache: a FRESH coordinator (empty memory and disk tiers)
+# submitting the spec w1 already computed must answer from w1's store —
+# verified end to end via the integrity header — as a cached job with
+# zero locally simulated cells, byte-identical.
+boot_icesimd "$smokedir/coord3.log" -peers "$w1"
+coord3=$addr; coord3pid=$daemon
+for _ in $(seq 1 50); do
+    h=$(curl -sf "http://$coord3/metrics" | grep 'service\.shard\.peer_healthy' | grep -c ' 1$' || true)
+    [ "$h" -eq 1 ] && break
+    sleep 0.1
+done
+curl -sf -X POST "http://$coord3/jobs" -d "$specA" | grep '"cached": true' >/dev/null \
+    || { echo "fleet-warm submit did not come back cached" >&2; exit 1; }
+curl -sf "http://$coord3/jobs/job-1/result" >"$smokedir/peercached"
+cmp -s "$smokedir/single" "$smokedir/peercached" \
+    || { echo "peer-cache result not byte-identical to single-node" >&2; exit 1; }
+curl -sf "http://$coord3/metrics" | grep 'service\.cache\.peer_hits' | awk '{ exit !($3 >= 1) }' \
+    || { echo "peer-cache hit not counted" >&2; curl -sf "http://$coord3/metrics" >&2; exit 1; }
+curl -sf "http://$coord3/metrics" | grep 'harness\.cell_us' | grep -q 'count=0 ' \
+    || { echo "fleet-warm coordinator simulated cells locally" >&2; curl -sf "http://$coord3/metrics" >&2; exit 1; }
+kill -TERM "$coord3pid"
+wait "$coord3pid" || { echo "warm-cache coordinator did not drain cleanly" >&2; cat "$smokedir/coord3.log" >&2; exit 1; }
 
 # SIGKILL one worker, then shard a fresh job through the stale
 # rotation: the dispatch to the dead worker must fail over without
 # changing a byte of the result.
+# The sharded run again goes first (cold fleet → the peer-cache probe
+# misses and the job really dispatches into the stale rotation).
 specB='{"kind":"run","device":"Pixel3","scenario":"S-C","scheme":"Ice","duration_sec":2,"rounds":6,"seed":23,"trace":true}'
-curl -sf -X POST "http://$w1/jobs" -d "$specB" >/dev/null
-wait_done "http://$w1" job-2
-curl -sf "http://$w1/jobs/job-2/result" >"$smokedir/single2"
-curl -sf "http://$w1/jobs/job-2/trace" >"$smokedir/single2.trace"
 kill -9 "$w2pid"
 curl -sf -X POST "http://$coord/jobs" -d "$specB" >/dev/null
 wait_done "http://$coord" job-2
 curl -sf "http://$coord/jobs/job-2/result" >"$smokedir/sharded2"
 curl -sf "http://$coord/jobs/job-2/trace" >"$smokedir/sharded2.trace"
+curl -sf -X POST "http://$w1/jobs" -d "$specB" >/dev/null
+wait_done "http://$w1" job-3
+curl -sf "http://$w1/jobs/job-3/result" >"$smokedir/single2"
+curl -sf "http://$w1/jobs/job-3/trace" >"$smokedir/single2.trace"
 cmp -s "$smokedir/single2" "$smokedir/sharded2" \
     || { echo "result changed after SIGKILLed worker" >&2; exit 1; }
 cmp -s "$smokedir/single2.trace" "$smokedir/sharded2.trace" \
     || { echo "trace changed after SIGKILLed worker" >&2; exit 1; }
 curl -sf "http://$coord/metrics" | grep 'service\.shard\.peer_failures' | awk '{ exit !($3 >= 1) }' \
     || { echo "dead-worker dispatch failure not counted" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
+curl -sf "http://$coord/metrics" | grep 'service\.shard\.requeues' | awk '{ exit !($3 >= 1) }' \
+    || { echo "dead worker's chunk not requeued" >&2; curl -sf "http://$coord/metrics" >&2; exit 1; }
 
 # The dead worker flatlines on the fleet surface — ice_peer_up 0, the
 # live worker still 1, and no scrape error.

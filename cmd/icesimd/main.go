@@ -36,19 +36,36 @@
 // process exits cleanly.
 //
 // Several daemons form a cluster. Workers opt in to serving foreign
-// cell ranges; a coordinator lists its workers and shards each job's
-// cell matrix across itself plus every healthy peer:
+// cell ranges; a coordinator turns each job's cell matrix into a lease
+// queue of chunks that its own pool and every registered worker pull
+// from (work stealing — a slow worker simply stops pulling):
 //
 //	icesimd -role worker -addr 127.0.0.1:7824
 //	icesimd -role worker -addr 127.0.0.1:7825
 //	icesimd -peers 127.0.0.1:7824,127.0.0.1:7825
 //
-// Sharded jobs return byte-identical results to single-node runs: cell
-// seeds derive from the job spec alone and the coordinator merges
+// Membership is dynamic: -peers only seeds the fleet. A worker started
+// with -join coordinator:port announces itself (POST /internal/join,
+// repeated every -join-interval) and is admitted at runtime — even
+// into jobs already running — and deregisters on drain; a
+// runtime-joined worker that stops answering health probes is pruned.
+// Alternatively -role coordinator makes a node coordinate with no seed
+// workers at all, relying entirely on joins.
+//
+// Distributed jobs return byte-identical results to single-node runs:
+// cell seeds derive from the job spec alone and the coordinator merges
 // per-cell payloads back in matrix order. A peer that dies or times
-// out mid-job only costs wall-clock — its chunk re-runs locally
-// (-shard-timeout, -shard-retries). Peer health is re-probed every
-// -health-interval, so a restarted worker rejoins the rotation.
+// out mid-lease only costs wall-clock — its chunk is requeued for the
+// next puller (-shard-timeout bounds one attempt, -shard-chunk-cells
+// sizes leases). Peer health is re-probed every -health-interval, so a
+// restarted worker rejoins the rotation.
+//
+// Coordinators also treat the fleet's content-addressed stores as one
+// shared cache: a submission that misses the local memory and disk
+// tiers asks every healthy member (GET /internal/cache/<key>) and
+// adopts the first entry whose integrity header — lengths and SHA-256
+// checksums, the same format the disk store trusts — verifies end to
+// end, serving it byte-identical without simulating.
 //
 // Observability: GET /metrics speaks three formats — the legacy line
 // dump, ?format=json, and the Prometheus text exposition (?format=prom
@@ -104,17 +121,21 @@ func main() {
 		authTokens   = flag.String("auth-tokens", "", "token file enabling bearer auth (token principal key=value... per line)")
 		peerToken    = flag.String("peer-token", "", "bearer token attached to outbound peer calls (shard dispatch, fleet scrape)")
 
-		role           = flag.String("role", "node", "node role: node, or worker (serves POST /internal/cells)")
-		node           = flag.String("node", "", "node name for /healthz and the metrics node label (default: hostname)")
-		peersFlag      = flag.String("peers", "", "comma-separated worker host:port list; makes this node a sharding coordinator")
-		shardTimeout   = flag.Duration("shard-timeout", 5*time.Minute, "per-chunk dispatch timeout before local fallback")
-		shardRetries   = flag.Int("shard-retries", 1, "re-dispatch attempts on other peers before local fallback (0 = none)")
-		healthInterval = flag.Duration("health-interval", 5*time.Second, "peer health-probe period")
+		role            = flag.String("role", "node", "node role: node, worker (serves POST /internal/cells), or coordinator")
+		node            = flag.String("node", "", "node name for /healthz and the metrics node label (default: hostname)")
+		peersFlag       = flag.String("peers", "", "comma-separated seed worker host:port list; makes this node a coordinator")
+		joinFlag        = flag.String("join", "", "comma-separated coordinator host:port list to announce this worker to")
+		advertise       = flag.String("advertise", "", "host:port coordinators should dispatch to (default: the bound listen address)")
+		joinInterval    = flag.Duration("join-interval", 5*time.Second, "re-announce period for -join")
+		shardTimeout    = flag.Duration("shard-timeout", 5*time.Minute, "per-chunk dispatch timeout before the chunk is requeued")
+		shardChunkCells = flag.Int("shard-chunk-cells", 0, "max cells per lease chunk (0 = split the matrix into ~16 chunks)")
+		peerCacheWait   = flag.Duration("peer-cache-timeout", 0, "fleet-wide cache consultation bound per cache miss (0 = 2s)")
+		healthInterval  = flag.Duration("health-interval", 5*time.Second, "peer health-probe period")
 	)
 	flag.Parse()
 
-	if *role != "node" && *role != "worker" {
-		fmt.Fprintf(os.Stderr, "icesimd: unknown -role %q (want node or worker)\n", *role)
+	if *role != "node" && *role != "worker" && *role != "coordinator" {
+		fmt.Fprintf(os.Stderr, "icesimd: unknown -role %q (want node, worker, or coordinator)\n", *role)
 		os.Exit(2)
 	}
 	var peers []string
@@ -123,14 +144,14 @@ func main() {
 			peers = append(peers, p)
 		}
 	}
-	// Config uses 0 for "default" and negative for "no retries"; the
-	// flag says what it means, so translate 0 → negative here.
-	retries := *shardRetries
-	if retries <= 0 {
-		retries = -1
+	var coordinators []string
+	for _, c := range strings.Split(*joinFlag, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			coordinators = append(coordinators, c)
+		}
 	}
-	// A node with peers coordinates the fleet; report that on /healthz
-	// and in the metrics role label without inventing a third -role.
+	// A node with seed peers coordinates the fleet; report that on
+	// /healthz and in the metrics role label.
 	reportedRole := *role
 	if reportedRole == "node" && len(peers) > 0 {
 		reportedRole = "coordinator"
@@ -155,8 +176,10 @@ func main() {
 		RetainTerminalJobs: *retainJobs,
 		WorkerEndpoint:     *role == "worker",
 		Peers:              peers,
+		Coordinator:        *role == "coordinator",
 		ShardChunkTimeout:  *shardTimeout,
-		ShardRetries:       retries,
+		ShardChunkCells:    *shardChunkCells,
+		PeerCacheTimeout:   *peerCacheWait,
 		Role:               reportedRole,
 		Node:               *node,
 		AuthTokens:         registry,
@@ -169,7 +192,7 @@ func main() {
 
 	healthCtx, stopHealth := context.WithCancel(context.Background())
 	defer stopHealth()
-	if len(peers) > 0 {
+	if len(peers) > 0 || *role == "coordinator" {
 		go mgr.PeerHealthLoop(healthCtx, *healthInterval)
 	}
 
@@ -182,6 +205,23 @@ func main() {
 
 	// The definite line tooling greps for the bound port.
 	fmt.Printf("icesimd listening on %s\n", ln.Addr())
+
+	// Announce this worker to its coordinators; the loop re-announces
+	// every -join-interval and posts a leave when cancelled at drain.
+	announceCtx, stopAnnounce := context.WithCancel(context.Background())
+	announceDone := make(chan struct{})
+	close(announceDone)
+	if len(coordinators) > 0 {
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		announceDone = make(chan struct{})
+		go func() {
+			defer close(announceDone)
+			mgr.AnnounceLoop(announceCtx, coordinators, adv, *joinInterval)
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -199,7 +239,11 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop accepting connections first, then drain the job manager.
+	// Deregister from coordinators first so no new chunk is dispatched
+	// here mid-drain, then stop accepting connections, then drain the
+	// job manager.
+	stopAnnounce()
+	<-announceDone
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, err)
 	}

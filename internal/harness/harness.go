@@ -195,6 +195,14 @@ type ExecHooks struct {
 	// back to local execution, so the merged matrix is byte-identical
 	// to a fully local run at any plan.
 	Shard ShardPlanner
+	// Steal, when non-nil, switches the locally planned indices to
+	// pull-based work-stealing dispatch: the index space becomes a
+	// LeaseQueue of contiguous chunks that the local pool and any
+	// remote lease loops (spawned by Steal.Run) pull from as they
+	// finish — see lease.go. Composes with Shard (Shard's chunks, e.g.
+	// a resumed job's prefill, are injected as usual; Steal covers the
+	// rest); ignored under Range (worker nodes do not steal).
+	Steal *StealConfig
 	// ObsSink, when non-nil, receives the instrument-registry snapshot
 	// of every LOCALLY executed cell whose result implements
 	// obs.SnapshotProvider. Remote-injected chunks are excluded on
@@ -405,7 +413,42 @@ func MapContext[T any](ctx context.Context, cfg Config, cells []Cell, fn func(Ce
 			runPool(ctx, cfg, stamped, idx, out, tr, fn)
 		}()
 	}
-	runPool(ctx, cfg, stamped, local, out, tr, fn)
+	if cfg.Steal != nil && cfg.Range == nil && len(local) > 0 {
+		// Work-stealing mode: the local indices become a chunk deque
+		// shared between this pool and the remote lease loops Steal.Run
+		// spawns. Merging stays by matrix index, so the result is
+		// byte-identical to plain local execution at any steal pattern.
+		q := newLeaseQueue(local, cfg.Steal.ChunkCells)
+		q.inject = func(r Range, payloads [][]byte) bool {
+			if len(payloads) != r.Len() {
+				return false
+			}
+			vals := make([]T, len(payloads))
+			for k, p := range payloads {
+				if json.Unmarshal(p, &vals[k]) != nil {
+					return false
+				}
+			}
+			for k := range vals {
+				i := r.From + k
+				out[i] = vals[k]
+				tr.complete(stamped[i], 0, nil, payloads[k])
+			}
+			return true
+		}
+		stop := context.AfterFunc(ctx, q.cancelAll)
+		if cfg.Steal.Run != nil {
+			go cfg.Steal.Run(ctx, q)
+		}
+		runSteal(ctx, cfg, stamped, out, tr, fn, q)
+		// Barrier: after this no remote merge is running or can start,
+		// so returning (and letting the caller read out) is safe even
+		// if a Steal.Run loop is still unwinding a dispatch.
+		q.cancelAll()
+		stop()
+	} else {
+		runPool(ctx, cfg, stamped, local, out, tr, fn)
+	}
 	dispatchers.Wait()
 
 	cellErrs := tr.cellErrs
@@ -587,28 +630,34 @@ func runPool[T any](ctx context.Context, cfg Config, stamped []Cell, indices []i
 					return
 				}
 				c := stamped[indices[k]]
-				cellStart := time.Now()
-				cerr := runCell(c, &out[c.Index], fn)
-				if cerr == nil && cfg.ObsSink != nil {
-					if p, ok := any(out[c.Index]).(obs.SnapshotProvider); ok {
-						cfg.ObsSink(p.ObsSnapshot())
-					}
-				}
-				var sunk []byte
-				if cerr == nil && tr.sink != nil {
-					b, merr := json.Marshal(out[c.Index])
-					if merr != nil {
-						cerr = &CellError{Cell: c, Panic: fmt.Sprintf("marshal result for sink: %v", merr)}
-					}
-					sunk = b
-				}
-				cellTime := time.Since(cellStart)
+				cerr, sunk, cellTime := computeCell(cfg, c, &out[c.Index], tr, fn)
 				release()
 				tr.complete(c, cellTime, cerr, sunk)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// computeCell executes one claimed cell: runs fn, feeds the ObsSink,
+// and marshals the result for the Sink. The caller releases execution
+// budgets and reports completion to the tracker.
+func computeCell[T any](cfg Config, c Cell, slot *T, tr *tracker, fn func(Cell) T) (cerr *CellError, sunk []byte, cellTime time.Duration) {
+	cellStart := time.Now()
+	cerr = runCell(c, slot, fn)
+	if cerr == nil && cfg.ObsSink != nil {
+		if p, ok := any(*slot).(obs.SnapshotProvider); ok {
+			cfg.ObsSink(p.ObsSnapshot())
+		}
+	}
+	if cerr == nil && tr.sink != nil {
+		b, merr := json.Marshal(*slot)
+		if merr != nil {
+			cerr = &CellError{Cell: c, Panic: fmt.Sprintf("marshal result for sink: %v", merr)}
+		}
+		sunk = b
+	}
+	return cerr, sunk, time.Since(cellStart)
 }
 
 // injectChunk runs a remote chunk's Exec and, on success, copies the

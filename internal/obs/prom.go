@@ -136,6 +136,9 @@ var promHelp = map[string]string{
 	"service.cache.misses":               "Result-cache memory misses.",
 	"service.cache.evictions":            "Result-cache LRU evictions.",
 	"service.cache.entries":              "Result-cache entries resident.",
+	"service.cache.peer_hits":            "Local misses answered by a peer's verified cache entry.",
+	"service.cache.peer_misses":          "Local misses no peer could answer.",
+	"service.cache.peer_served":          "Cache entries served to peers.",
 	"service.store.disk_hits":            "Disk-store hits (verified and promoted).",
 	"service.store.disk_misses":          "Disk-store misses.",
 	"service.store.evictions":            "Disk-store byte-budget evictions.",
@@ -147,13 +150,17 @@ var promHelp = map[string]string{
 	"service.store.entries":              "Disk-store entries resident.",
 	"service.shard.dispatched":           "Cell chunks dispatched to peers.",
 	"service.shard.remote_cells":         "Cells executed remotely.",
-	"service.shard.retries":              "Chunk dispatches retried on another peer.",
+	"service.shard.steals":               "Chunks completed by a remote peer via work stealing.",
+	"service.shard.leases":               "Chunks leased to remote peers.",
+	"service.shard.requeues":             "Leased chunks requeued after a failed dispatch.",
 	"service.shard.peer_failures":        "Chunk dispatches that failed on a peer.",
-	"service.shard.fallback_local":       "Chunks that fell back to local execution.",
 	"service.shard.served":               "Cell-range requests served (worker).",
 	"service.shard.served_cells":         "Cells executed for coordinators (worker).",
 	"service.shard.peer_inflight":        "Chunks in flight to the peer.",
 	"service.shard.peer_healthy":         "Peer health (1 in rotation, 0 out).",
+	"service.fleet.peer_joins":           "Workers admitted via POST /internal/join.",
+	"service.fleet.peer_leaves":          "Runtime-joined workers removed (leave or liveness pruning).",
+	"service.fleet.peers":                "Current fleet membership size.",
 	"service.http.requests":              "HTTP requests served, by route.",
 	"service.http.errors":                "HTTP responses with status >= 400, by route.",
 	"service.http.latency_us":            "HTTP request latency, by route.",

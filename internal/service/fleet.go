@@ -79,10 +79,16 @@ func (m *Manager) FleetMetrics(ctx context.Context) ([]byte, error) {
 		selfName = fleetSelfPeer
 	}
 
-	peerFams := make([][]obs.PromFamily, len(m.peers))
-	peerUp := make([]bool, len(m.peers))
+	// Membership is dynamic (runtime joins and pruning mutate m.peers);
+	// snapshot it so the scrape works on a consistent roster.
+	m.mu.Lock()
+	peers := append([]*peer(nil), m.peers...)
+	m.mu.Unlock()
+
+	peerFams := make([][]obs.PromFamily, len(peers))
+	peerUp := make([]bool, len(peers))
 	var wg sync.WaitGroup
-	for i, p := range m.peers {
+	for i, p := range peers {
 		i, addr := i, p.addr
 		wg.Add(1)
 		go func() {
@@ -97,9 +103,9 @@ func (m *Manager) FleetMetrics(ctx context.Context) ([]byte, error) {
 	}
 	wg.Wait()
 
-	groups := make([][]obs.PromFamily, 0, len(m.peers)+2)
+	groups := make([][]obs.PromFamily, 0, len(peers)+2)
 	groups = append(groups, labelPeer(selfFams, selfName))
-	for i, p := range m.peers {
+	for i, p := range peers {
 		if peerUp[i] {
 			groups = append(groups, labelPeer(peerFams[i], p.addr))
 		}
@@ -109,7 +115,7 @@ func (m *Manager) FleetMetrics(ctx context.Context) ([]byte, error) {
 		Type: "gauge",
 		Help: "Whether the last fleet scrape of the peer succeeded.",
 	}
-	for i, p := range m.peers {
+	for i, p := range peers {
 		v := "0"
 		if peerUp[i] {
 			v = "1"

@@ -74,21 +74,28 @@ type Config struct {
 	// terminal jobs are pruned; their payloads stay reachable through
 	// the result cache and disk store by resubmitting the spec.
 	RetainTerminalJobs int
-	// Peers lists other icesimd daemons ("host:port") this node may
-	// dispatch cell ranges to, making it a shard coordinator (see
-	// shard.go). Empty keeps execution single-node.
+	// Peers seeds the fleet membership with other icesimd daemons
+	// ("host:port"). Seed members survive liveness pruning; runtime
+	// members join via POST /internal/join (see shard.go).
 	Peers []string
+	// Coordinator makes this node a work-stealing dispatch coordinator:
+	// jobs run with a lease queue that registered peers pull chunks
+	// from, and cache misses consult peers' stores before simulating.
+	// Implied by a non-empty Peers list.
+	Coordinator bool
 	// WorkerEndpoint enables POST /internal/cells, letting a
 	// coordinator assign this node cell ranges (icesimd -role worker).
 	WorkerEndpoint bool
 	// ShardChunkTimeout bounds one remote chunk dispatch attempt
-	// (<=0: 5 minutes). On expiry the chunk retries elsewhere or runs
-	// locally.
+	// (<=0: 5 minutes). On expiry the chunk is requeued and the next
+	// puller — another peer or the local pool — runs it.
 	ShardChunkTimeout time.Duration
-	// ShardRetries is how many additional healthy peers a failed chunk
-	// dispatch tries before local fallback (0: default 1; negative:
-	// no retries).
-	ShardRetries int
+	// ShardChunkCells caps how many cells one lease covers (<=0: the
+	// matrix splits into about 16 chunks).
+	ShardChunkCells int
+	// PeerCacheTimeout bounds the fleet-wide cache consultation on a
+	// local miss (<=0: 2 seconds). On expiry the job simulates.
+	PeerCacheTimeout time.Duration
 	// Role is the daemon's reported role ("node", "worker",
 	// "coordinator"); it surfaces in /healthz and as the exposition's
 	// role const label. Empty defaults to "node".
@@ -188,19 +195,23 @@ type job struct {
 type Manager struct {
 	cfg   Config
 	slots chan struct{} // global cell budget
-	peers []*peer       // configured shard workers (see shard.go)
-	httpc *http.Client  // shard dispatch + health probes
+	httpc *http.Client  // shard dispatch, membership, health probes
 
-	mu      sync.Mutex
-	closed  bool
-	nextID  int
-	jobs    map[string]*job
-	order   []string // submission order for List
-	queued  int      // jobs currently in StateQueued (O(1) Submit bound check)
-	fq      *fairQueue
-	tenants map[string]*tenantState
-	cache   *resultCache
-	store   *diskStore // nil without Config.StateDir
+	mu     sync.Mutex
+	closed bool
+	peers  []*peer // fleet membership: seed (-peers) + runtime joins
+	// sessions holds every running job's steal session so membership
+	// events (join, probe recovery) spawn lease loops into jobs that
+	// are already running.
+	sessions map[*stealSession]struct{}
+	nextID   int
+	jobs     map[string]*job
+	order    []string // submission order for List
+	queued   int      // jobs currently in StateQueued (O(1) Submit bound check)
+	fq       *fairQueue
+	tenants  map[string]*tenantState
+	cache    *resultCache
+	store    *diskStore // nil without Config.StateDir
 	// terminalByKey holds terminal job IDs per principal and state,
 	// oldest first, for the retention policy — per-principal so one
 	// tenant's churn cannot evict another tenant's history.
@@ -237,15 +248,23 @@ type Manager struct {
 	diskBytes         *obs.Gauge
 	diskEntries       *obs.Gauge
 	// Shard instruments: the coordinator set is registered only with
-	// Peers configured, the served set only with WorkerEndpoint; both
-	// stay nil (and nil-safe) otherwise.
+	// Config.Coordinator, the served set only with WorkerEndpoint; both
+	// stay nil (and nil-safe) otherwise. peerCacheServedCtr is always
+	// registered: any node may serve its cache to a coordinator.
 	shardDispatchCtr    *obs.Counter
 	shardRemoteCtr      *obs.Counter
-	shardRetryCtr       *obs.Counter
+	shardStealCtr       *obs.Counter
+	shardLeaseCtr       *obs.Counter
+	shardRequeueCtr     *obs.Counter
 	shardPeerFailCtr    *obs.Counter
-	shardFallbackCtr    *obs.Counter
 	shardServedCtr      *obs.Counter
 	shardServedCellsCtr *obs.Counter
+	peerJoinCtr         *obs.Counter
+	peerLeaveCtr        *obs.Counter
+	peersGauge          *obs.Gauge
+	peerCacheHitCtr     *obs.Counter
+	peerCacheMissCtr    *obs.Counter
+	peerCacheServedCtr  *obs.Counter
 	// Process-level series the registry cannot see from inside a
 	// simulation: uptime, Go runtime stats, GC pauses. Refreshed by
 	// sampleProcessLocked on every Metrics snapshot; lastNumGC tracks
@@ -301,12 +320,10 @@ func OpenManager(cfg Config) (*Manager, error) {
 	if cfg.ShardChunkTimeout <= 0 {
 		cfg.ShardChunkTimeout = 5 * time.Minute
 	}
-	switch {
-	case cfg.ShardRetries == 0:
-		cfg.ShardRetries = 1
-	case cfg.ShardRetries < 0:
-		cfg.ShardRetries = 0
+	if cfg.PeerCacheTimeout <= 0 {
+		cfg.PeerCacheTimeout = 2 * time.Second
 	}
+	cfg.Coordinator = cfg.Coordinator || len(cfg.Peers) > 0
 	if cfg.Role == "" {
 		cfg.Role = "node"
 	}
@@ -324,6 +341,8 @@ func OpenManager(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:               cfg,
 		slots:             make(chan struct{}, cfg.MaxWorkers),
+		httpc:             &http.Client{},
+		sessions:          make(map[*stealSession]struct{}),
 		fq:                newFairQueue(cfg.MaxRunningJobs),
 		tenants:           make(map[string]*tenantState),
 		jobs:              make(map[string]*job),
@@ -354,19 +373,21 @@ func OpenManager(cfg Config) (*Manager, error) {
 		cellUs:            reg.Histogram("harness.cell_us"),
 		httpRoutes:        make(map[string]*routeInstruments),
 	}
-	if len(cfg.Peers) > 0 {
-		m.httpc = &http.Client{}
+	m.peerCacheServedCtr = reg.Counter("service.cache.peer_served")
+	if cfg.Coordinator {
 		m.shardDispatchCtr = reg.Counter("service.shard.dispatched")
 		m.shardRemoteCtr = reg.Counter("service.shard.remote_cells")
-		m.shardRetryCtr = reg.Counter("service.shard.retries")
+		m.shardStealCtr = reg.Counter("service.shard.steals")
+		m.shardLeaseCtr = reg.Counter("service.shard.leases")
+		m.shardRequeueCtr = reg.Counter("service.shard.requeues")
 		m.shardPeerFailCtr = reg.Counter("service.shard.peer_failures")
-		m.shardFallbackCtr = reg.Counter("service.shard.fallback_local")
+		m.peerJoinCtr = reg.Counter("service.fleet.peer_joins")
+		m.peerLeaveCtr = reg.Counter("service.fleet.peer_leaves")
+		m.peersGauge = reg.Gauge("service.fleet.peers")
+		m.peerCacheHitCtr = reg.Counter("service.cache.peer_hits")
+		m.peerCacheMissCtr = reg.Counter("service.cache.peer_misses")
 		for _, addr := range cfg.Peers {
-			m.peers = append(m.peers, &peer{
-				addr:     addr,
-				inflight: reg.Gauge("service.shard.peer_inflight." + addr),
-				healthyG: reg.Gauge("service.shard.peer_healthy." + addr),
-			})
+			m.addPeerLocked(addr, true)
 		}
 	}
 	if cfg.WorkerEndpoint {
@@ -447,8 +468,8 @@ func (m *Manager) SubmitAs(spec JobSpec, principal string) (JobView, error) {
 	key := CacheKey(spec, codeVersion())
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return JobView{}, ErrDraining
 	}
 	m.subCtr.Inc()
@@ -469,6 +490,7 @@ func (m *Manager) SubmitAs(spec JobSpec, principal string) (JobView, error) {
 
 	if entry, ok := m.cache.get(key); ok {
 		m.hitCtr.Inc()
+		defer m.mu.Unlock()
 		return m.resolveCachedLocked(j, entry), nil
 	}
 	m.missCtr.Inc()
@@ -487,10 +509,38 @@ func (m *Manager) SubmitAs(spec JobSpec, principal string) (JobView, error) {
 			m.diskHitCtr.Inc()
 			m.evictCtr.Add(uint64(m.cache.put(key, entry)))
 			m.entriesGauge.Set(int64(m.cache.len()))
+			defer m.mu.Unlock()
 			return m.resolveCachedLocked(j, entry), nil
 		}
 		m.diskMissCtr.Inc()
 	}
+
+	// Both local tiers missed: on a coordinator, ask registered peers'
+	// stores before simulating. The lookup runs off-lock (it blocks on
+	// the network, bounded by PeerCacheTimeout); a fully verified hit
+	// is promoted into both local tiers — attributed to the submitting
+	// principal like any result this node produced — and served
+	// byte-identical without simulating a single cell.
+	if m.cfg.Coordinator && len(m.peers) > 0 {
+		m.mu.Unlock()
+		entry, ok := m.peerCacheLookup(context.Background(), key)
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return JobView{}, ErrDraining
+		}
+		if ok {
+			m.peerCacheHitCtr.Inc()
+			m.evictCtr.Add(uint64(m.cache.put(key, entry)))
+			m.entriesGauge.Set(int64(m.cache.len()))
+			m.persistLocked(m.tenantLocked(principal), key, entry)
+			defer m.mu.Unlock()
+			return m.resolveCachedLocked(j, entry), nil
+		}
+		m.peerCacheMissCtr.Inc()
+		ts = m.tenantLocked(principal)
+	}
+	defer m.mu.Unlock()
 
 	if m.queued >= m.cfg.MaxQueuedJobs {
 		ts.rejectedCtr.Inc()
@@ -540,6 +590,37 @@ func (m *Manager) syncStoreGaugesLocked() {
 	m.diskEntries.Set(int64(m.store.len()))
 }
 
+// persistLocked attributes a result's cached bytes to the submitting
+// principal and writes it through to the disk store. A principal over
+// its cache-bytes quota keeps the result in the memory tier (the job
+// still serves) but is not persisted. Used both for locally simulated
+// results and for verified entries adopted from a peer's cache.
+func (m *Manager) persistLocked(ts *tenantState, key string, entry cacheEntry) {
+	persist := true
+	if _, seen := ts.cacheKeys[key]; !seen {
+		size := int64(len(entry.result) + len(entry.trace))
+		if ts.p.MaxCacheBytes > 0 && ts.cacheBytes+size > ts.p.MaxCacheBytes {
+			persist = false
+			m.cacheQuotaSkipCtr.Inc()
+		} else {
+			ts.cacheKeys[key] = size
+			ts.cacheBytes += size
+			ts.cacheBytesG.Set(ts.cacheBytes)
+		}
+	}
+	if m.store != nil && persist {
+		stored, diskEvicted, serr := m.store.put(key, entry)
+		switch {
+		case serr != nil:
+			m.storeErrCtr.Inc() // not persisted; memory tier still serves it
+		case !stored:
+			m.oversizeCtr.Inc() // bigger than the whole byte budget
+		}
+		m.diskEvictCtr.Add(uint64(diskEvicted))
+		m.syncStoreGaugesLocked()
+	}
+}
+
 // run drives one job segment from queued to a terminal state — or, for
 // a preempted batch job, back into the queue (each requeue spawns a
 // fresh run goroutine with a fresh context).
@@ -576,14 +657,16 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	}
 	m.mu.Unlock()
 
-	// With peers configured this node coordinates: the planner pushes
-	// contiguous chunks of the matrix to healthy workers and the
-	// harness merges their payloads in matrix order, so the result is
-	// byte-identical to a single-node run (failed chunks re-run here).
-	// Prefill wraps the planner: on resume, already-completed cells are
-	// injected from the saved payloads instead of executing anywhere.
+	// On a coordinator the job runs in work-stealing mode: the matrix
+	// becomes a lease queue of chunks that the local pool and every
+	// registered peer pull from, and the harness merges remote payloads
+	// in matrix order, so the result is byte-identical to a single-node
+	// run at any membership or failure pattern. Prefill injects a
+	// resumed job's already-completed cells from the saved payloads
+	// instead of executing them anywhere.
 	hooks := harness.ExecHooks{
-		Shard:     harness.Prefill(prefill, m.shardPlanner(spec, j.principal)),
+		Shard:     harness.Prefill(prefill, nil),
+		Steal:     m.stealConfig(spec, j.principal),
 		ObsSink:   m.foldSim,
 		CellQuota: quota,
 	}
@@ -681,32 +764,7 @@ func (m *Manager) finish(j *job, result, traceJSON []byte, err error) {
 		evicted := m.cache.put(j.key, entry)
 		m.evictCtr.Add(uint64(evicted))
 		m.entriesGauge.Set(int64(m.cache.len()))
-		// Attribute the cached bytes to the submitting principal; a
-		// principal over its cache-bytes quota keeps its result in the
-		// memory tier (the job still serves) but is not persisted.
-		persist := true
-		if _, seen := ts.cacheKeys[j.key]; !seen {
-			size := int64(len(result) + len(traceJSON))
-			if ts.p.MaxCacheBytes > 0 && ts.cacheBytes+size > ts.p.MaxCacheBytes {
-				persist = false
-				m.cacheQuotaSkipCtr.Inc()
-			} else {
-				ts.cacheKeys[j.key] = size
-				ts.cacheBytes += size
-				ts.cacheBytesG.Set(ts.cacheBytes)
-			}
-		}
-		if m.store != nil && persist {
-			stored, diskEvicted, serr := m.store.put(j.key, entry)
-			switch {
-			case serr != nil:
-				m.storeErrCtr.Inc() // not persisted; memory tier still serves it
-			case !stored:
-				m.oversizeCtr.Inc() // bigger than the whole byte budget
-			}
-			m.diskEvictCtr.Add(uint64(diskEvicted))
-			m.syncStoreGaugesLocked()
-		}
+		m.persistLocked(ts, j.key, entry)
 		m.doneCtr.Inc()
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled

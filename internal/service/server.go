@@ -52,10 +52,16 @@ func (m *Manager) authPrincipal(r *http.Request) (string, error) {
 //	                        client sends Accept: text/event-stream
 //	GET  /jobs/{id}/result  terminal job's result payload (JSON)
 //	GET  /jobs/{id}/trace   terminal job's Perfetto trace-event JSON
-//	GET  /fleet/metrics     fleet-wide exposition: self + every -peers
-//	                        worker re-labelled per peer (see fleet.go)
+//	GET  /fleet/metrics     fleet-wide exposition: self + every member
+//	                        re-labelled per peer (see fleet.go)
 //	POST /internal/cells    execute a cell range for a coordinator
 //	                        (worker nodes only; see shard.go)
+//	POST /internal/join     register a worker into the fleet at runtime
+//	                        (coordinators only; see shard.go)
+//	POST /internal/leave    deregister a draining worker
+//	GET  /internal/cache/{key}  serve this node's cached entry for a
+//	                        SHA-256 cache key in the store wire format
+//	                        (any node; see peercache.go)
 //
 // Every route runs behind a metrics middleware that records
 // service.http.{requests,errors,latency_us}.<route>.
@@ -139,8 +145,8 @@ func NewServer(m *Manager) http.Handler {
 	})
 
 	handle("GET /fleet/metrics", "fleet_metrics", func(w http.ResponseWriter, r *http.Request) {
-		if len(m.peers) == 0 {
-			writeErr(w, http.StatusNotFound, errors.New("not a coordinator (start icesimd with -peers)"))
+		if !m.cfg.Coordinator {
+			writeErr(w, http.StatusNotFound, errors.New("not a coordinator (start icesimd with -role coordinator or -peers)"))
 			return
 		}
 		text, err := m.FleetMetrics(r.Context())
@@ -299,6 +305,84 @@ func NewServer(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
+	// Runtime membership (see shard.go): a worker announces itself to a
+	// coordinator, which admits it into dispatch rotation — and into
+	// every job already running — immediately.
+	handle("POST "+internalJoinPath, "internal_join", func(w http.ResponseWriter, r *http.Request) {
+		if !m.cfg.Coordinator {
+			writeErr(w, http.StatusForbidden, errors.New("not a coordinator (start icesimd with -role coordinator or -peers)"))
+			return
+		}
+		if _, err := m.authPrincipal(r); err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		var req joinRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid join request: %w", err))
+			return
+		}
+		n, err := m.RegisterPeer(req.Addr, req.Node, req.Version)
+		switch {
+		case errors.Is(err, ErrPeerVersion):
+			writeErr(w, http.StatusConflict, err)
+			return
+		case errors.Is(err, ErrBadPeerAddr):
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		case errors.Is(err, ErrDraining):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"peers": n})
+	})
+
+	handle("POST "+internalLeavePath, "internal_leave", func(w http.ResponseWriter, r *http.Request) {
+		if !m.cfg.Coordinator {
+			writeErr(w, http.StatusForbidden, errors.New("not a coordinator"))
+			return
+		}
+		if _, err := m.authPrincipal(r); err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		var req joinRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid leave request: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": m.DeregisterPeer(req.Addr)})
+	})
+
+	// Peer-shared cache read (see peercache.go): any node serves its
+	// own cached entries; the integrity header lets the caller verify
+	// end to end before trusting a byte.
+	handle("GET "+internalCachePath+"{key}", "internal_cache", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := m.authPrincipal(r); err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		key := r.PathValue("key")
+		if !validCacheKey(key) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("cache key must be 64 hex characters, got %q", key))
+			return
+		}
+		entry, ok := m.peerCacheEntry(key)
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("no cached entry for key"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(entry)
+	})
+
 	handle("GET /jobs/{id}/stream", "jobs_stream", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		events, cancelSub, err := m.Subscribe(id)
@@ -401,7 +485,8 @@ type HealthView struct {
 	Peers         int    `json:"peers"`
 }
 
-// Health reports the daemon's identity and liveness.
+// Health reports the daemon's identity and liveness. Peers is the live
+// membership count (seed members plus runtime joins, minus pruned).
 func (m *Manager) Health() HealthView {
 	return HealthView{
 		OK:            true,
@@ -409,8 +494,22 @@ func (m *Manager) Health() HealthView {
 		Node:          m.cfg.Node,
 		Version:       codeVersion(),
 		UptimeSeconds: int64(time.Since(m.start).Seconds()),
-		Peers:         len(m.cfg.Peers),
+		Peers:         m.PeerCount(),
 	}
+}
+
+// validCacheKey reports whether key looks like a SHA-256 cache key
+// (64 lowercase hex characters) — the only keys the store can hold.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

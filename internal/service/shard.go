@@ -1,19 +1,27 @@
 package service
 
-// shard.go distributes a job's cell matrix across icesimd nodes. A
-// coordinator (Config.Peers non-empty) partitions the stamped index
-// space [0, n) into contiguous chunks — one per healthy peer plus
-// itself — and dispatches each remote chunk as POST /internal/cells; a
-// worker (Config.WorkerEndpoint) executes the range through the same
-// execute() path under a harness cell-range restriction and returns
-// one JSON payload per cell. Cells derive their seeds from the spec
-// alone, so a chunk computes the identical bytes on any node; the
-// harness merges payloads back in matrix order, which keeps the final
+// shard.go distributes a job's cell matrix across icesimd nodes with
+// pull-based work stealing. A coordinator turns each job's stamped
+// index space into a harness.LeaseQueue of contiguous chunks; every
+// registered healthy peer gets a lease loop that pulls the next chunk
+// as soon as it finishes the previous one (POST /internal/cells), so a
+// slow or busy worker simply stops pulling and stragglers shed load
+// without replanning. A dispatch failure requeues the chunk at the
+// front of the deque for the next puller — possibly the coordinator's
+// own pool. Cells derive their seeds from the spec alone and the
+// harness merges payloads in matrix order, which keeps the final
 // result/trace payloads — and therefore the cache keys and stored
-// entries — byte-identical to a single-node run. Any dispatch failure
-// (peer down, timeout, version skew, garbage payload) falls back to
-// local execution of that chunk, trading wall-clock for the same
-// bytes.
+// entries — byte-identical to a single-node run at any membership,
+// steal pattern, or failure sequence.
+//
+// Membership is dynamic: -peers only seeds the list. Workers announce
+// themselves with POST /internal/join (version-checked, authenticated
+// like any mutating route) and re-announce periodically; the health
+// probe prunes a runtime-joined peer after peerFailureLimit
+// consecutive failures, while seed peers merely leave rotation until
+// they recover. A peer that joins — or recovers — while jobs are
+// running is spawned into every active lease session immediately,
+// which is what lets a late-booted worker steal chunks mid-job.
 
 import (
 	"bytes"
@@ -22,7 +30,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/eurosys23/ice/internal/harness"
@@ -30,13 +40,32 @@ import (
 	"github.com/eurosys23/ice/internal/tenant"
 )
 
-// internalCellsPath is the worker-side cell-range execution endpoint.
-const internalCellsPath = "/internal/cells"
+// Internal fleet endpoints: cell-range execution (worker side), and
+// membership registration (coordinator side).
+const (
+	internalCellsPath = "/internal/cells"
+	internalJoinPath  = "/internal/join"
+	internalLeavePath = "/internal/leave"
+)
+
+// peerFailureLimit is how many consecutive probe failures remove a
+// runtime-joined peer from membership entirely. Seed peers (-peers)
+// are never removed — only marked unhealthy — so a configured fleet
+// keeps its shape across worker restarts.
+const peerFailureLimit = 3
+
+// ErrPeerVersion rejects a join from a peer built at a different code
+// version: merged payloads must all come from identical code.
+var ErrPeerVersion = errors.New("service: peer version mismatch")
+
+// ErrBadPeerAddr rejects a join whose advertised address is not a
+// usable host:port.
+var ErrBadPeerAddr = errors.New("service: bad peer address")
 
 // shardRequest asks a worker to execute stamped cells [From, To) of
 // the spec's matrix. Version pins the coordinator's build: merged
 // payloads must all come from identical code, so a worker on a
-// different version refuses (HTTP 409) and the chunk runs locally.
+// different version refuses (HTTP 409) and the chunk is requeued.
 type shardRequest struct {
 	Spec    JobSpec `json:"spec"`
 	From    int     `json:"from"`
@@ -55,30 +84,160 @@ type shardResponse struct {
 	Cells []json.RawMessage `json:"cells"`
 }
 
-// peer is one configured remote worker. healthy is guarded by
-// Manager.mu; ProbePeers raises it, probe and dispatch failures clear
-// it.
+// joinRequest is the POST /internal/join (and /internal/leave) body: a
+// worker announcing the address coordinators should dispatch to.
+type joinRequest struct {
+	Addr    string `json:"addr"`
+	Node    string `json:"node,omitempty"`
+	Version string `json:"version"`
+}
+
+// peer is one member of the fleet — configured via -peers (seed) or
+// registered at runtime via POST /internal/join. All mutable fields
+// are guarded by Manager.mu.
 type peer struct {
 	addr     string
+	node     string
+	seed     bool // from -peers; survives liveness pruning
 	healthy  bool
+	failures int // consecutive probe failures (prunes joined peers)
 	inflight *obs.Gauge
 	healthyG *obs.Gauge
 }
 
-// ProbePeers checks every configured peer's /healthz once and updates
-// the health state, returning the healthy count. cmd/icesimd runs it
-// periodically via PeerHealthLoop.
-func (m *Manager) ProbePeers(ctx context.Context) int {
-	healthy := 0
+// findPeerLocked returns the member with the given address, or nil.
+func (m *Manager) findPeerLocked(addr string) *peer {
 	for _, p := range m.peers {
+		if p.addr == addr {
+			return p
+		}
+	}
+	return nil
+}
+
+// addPeerLocked appends a new member and refreshes the membership
+// gauge. The per-peer instruments are registry-deduplicated, so a peer
+// that leaves and rejoins keeps its series.
+func (m *Manager) addPeerLocked(addr string, seedPeer bool) *peer {
+	p := &peer{
+		addr:     addr,
+		seed:     seedPeer,
+		inflight: m.reg.Gauge("service.shard.peer_inflight." + addr),
+		healthyG: m.reg.Gauge("service.shard.peer_healthy." + addr),
+	}
+	m.peers = append(m.peers, p)
+	m.peersGauge.Set(int64(len(m.peers)))
+	return p
+}
+
+// removePeerLocked drops a runtime-joined member from the fleet.
+func (m *Manager) removePeerLocked(victim *peer) {
+	for i, p := range m.peers {
+		if p == victim {
+			m.peers = append(m.peers[:i], m.peers[i+1:]...)
+			break
+		}
+	}
+	m.peerLeaveCtr.Inc()
+	m.peersGauge.Set(int64(len(m.peers)))
+}
+
+// RegisterPeer admits (or refreshes) a runtime member of the fleet.
+// The peer enters rotation healthy immediately — it just proved
+// liveness by calling — and is spawned into every active lease
+// session, so a worker that joins mid-job starts pulling chunks for
+// jobs already running. Returns the resulting membership size.
+func (m *Manager) RegisterPeer(addr, node, version string) (int, error) {
+	if version != codeVersion() {
+		return 0, fmt.Errorf("%w: peer %q, coordinator %q", ErrPeerVersion, version, codeVersion())
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || host == "" || port == "" {
+		return 0, fmt.Errorf("%w: %q (want host:port)", ErrBadPeerAddr, addr)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrDraining
+	}
+	p := m.findPeerLocked(addr)
+	fresh := p == nil
+	if fresh {
+		p = m.addPeerLocked(addr, false)
+		m.peerJoinCtr.Inc()
+	}
+	if node != "" {
+		p.node = node
+	}
+	p.failures = 0
+	wasHealthy := p.healthy
+	p.healthy = true
+	p.healthyG.Set(1)
+	if fresh || !wasHealthy {
+		for s := range m.sessions {
+			s.spawnLocked(m, p)
+		}
+	}
+	return len(m.peers), nil
+}
+
+// DeregisterPeer handles a voluntary leave (a draining worker's POST
+// /internal/leave): runtime-joined members are removed, seed members
+// merely leave rotation until their next successful probe. Reports
+// whether the address was a member.
+func (m *Manager) DeregisterPeer(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.findPeerLocked(addr)
+	if p == nil {
+		return false
+	}
+	p.healthy = false
+	p.healthyG.Set(0)
+	if !p.seed {
+		m.removePeerLocked(p)
+	}
+	return true
+}
+
+// PeerCount reports the current membership size.
+func (m *Manager) PeerCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.peers)
+}
+
+// ProbePeers checks every member's /healthz once and updates the
+// health state, returning the healthy count. A member that recovers is
+// spawned into every active lease session; a runtime-joined member
+// that fails peerFailureLimit consecutive probes leaves the fleet.
+// cmd/icesimd runs this periodically via PeerHealthLoop.
+func (m *Manager) ProbePeers(ctx context.Context) int {
+	m.mu.Lock()
+	snapshot := append([]*peer(nil), m.peers...)
+	m.mu.Unlock()
+	healthy := 0
+	for _, p := range snapshot {
 		ok := m.probePeer(ctx, p)
 		m.mu.Lock()
-		p.healthy = ok
-		if ok {
-			p.healthyG.Set(1)
+		switch {
+		case ok:
+			p.failures = 0
+			if !p.healthy {
+				p.healthy = true
+				p.healthyG.Set(1)
+				for s := range m.sessions {
+					s.spawnLocked(m, p)
+				}
+			}
 			healthy++
-		} else {
+		default:
+			p.healthy = false
 			p.healthyG.Set(0)
+			p.failures++
+			if !p.seed && p.failures >= peerFailureLimit && m.findPeerLocked(p.addr) == p {
+				m.removePeerLocked(p)
+			}
 		}
 		m.mu.Unlock()
 	}
@@ -113,7 +272,8 @@ func (m *Manager) probePeer(ctx context.Context, p *peer) bool {
 
 // PeerHealthLoop probes immediately, then every interval, until ctx is
 // cancelled. A peer marked unhealthy by a failed dispatch re-enters
-// rotation at its next successful probe.
+// rotation — and any active lease sessions — at its next successful
+// probe.
 func (m *Manager) PeerHealthLoop(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		interval = 5 * time.Second
@@ -130,110 +290,179 @@ func (m *Manager) PeerHealthLoop(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// healthyPeers snapshots the peers currently in rotation.
-func (m *Manager) healthyPeers() []*peer {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []*peer
-	for _, p := range m.peers {
-		if p.healthy {
-			out = append(out, p)
+// AnnounceLoop is the worker half of runtime membership: register with
+// every coordinator immediately, re-announce each interval (healing
+// coordinator restarts and dispatch-failure demotions), and
+// best-effort deregister on ctx cancellation so a clean drain leaves
+// membership tidy. cmd/icesimd runs it for -join.
+func (m *Manager) AnnounceLoop(ctx context.Context, coordinators []string, advertise string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	announce := func() {
+		for _, c := range coordinators {
+			m.postMembership(ctx, c, internalJoinPath, advertise)
 		}
 	}
-	return out
+	announce()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			leaveCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			for _, c := range coordinators {
+				m.postMembership(leaveCtx, c, internalLeavePath, advertise)
+			}
+			cancel()
+			return
+		case <-t.C:
+			announce()
+		}
+	}
 }
 
-// nextHealthyPeer picks a healthy peer other than last, or nil when
-// none remains.
-func (m *Manager) nextHealthyPeer(last *peer) *peer {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, p := range m.peers {
-		if p.healthy && p != last {
-			return p
-		}
+// postMembership posts one join/leave announcement to a coordinator.
+func (m *Manager) postMembership(ctx context.Context, coordinator, path, advertise string) error {
+	body, err := json.Marshal(joinRequest{Addr: advertise, Node: m.cfg.Node, Version: codeVersion()})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	m.peerAuth(req)
+	resp, err := m.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s", coordinator, path, resp.Status)
 	}
 	return nil
 }
 
-// shardPlanner returns the harness ShardPlanner for one job, or nil
-// when this node has no peers. Chunk 0 always stays on the
-// coordinator: it holds cell 0, the only cell that can record a trace,
-// and trace buffers cannot cross the JSON wire.
-func (m *Manager) shardPlanner(spec JobSpec, principal string) harness.ShardPlanner {
-	if len(m.peers) == 0 {
+// stealSession is one running job's dispatcher state: the job's lease
+// queue plus the set of peers currently pulling from it. Sessions are
+// registered in Manager.sessions so membership events (join, probe
+// recovery) can spawn loops into jobs that are already running.
+type stealSession struct {
+	q         *harness.LeaseQueue
+	ctx       context.Context
+	spec      JobSpec
+	principal string
+	wg        sync.WaitGroup
+	closed    bool            // guarded by Manager.mu; no more spawns
+	active    map[string]bool // peer addrs with a live loop; guarded by Manager.mu
+}
+
+// stealConfig builds the harness work-stealing hook for one job, or
+// nil when this node does not coordinate. A coordinator plans steal
+// sessions even with zero current members — that is exactly what lets
+// a worker that joins mid-job start leasing.
+func (m *Manager) stealConfig(spec JobSpec, principal string) *harness.StealConfig {
+	if !m.cfg.Coordinator {
 		return nil
 	}
-	return func(total int) []harness.RemoteChunk {
-		peers := m.healthyPeers()
-		if len(peers) == 0 || total < 2 {
-			return nil
-		}
-		ranges := harness.Partition(total, len(peers)+1)
-		if len(ranges) < 2 {
-			return nil
-		}
-		chunks := make([]harness.RemoteChunk, 0, len(ranges)-1)
-		for i, r := range ranges[1:] {
-			p := peers[i%len(peers)]
-			r := r
-			chunks = append(chunks, harness.RemoteChunk{
-				Range: r,
-				Exec: func(ctx context.Context) ([][]byte, error) {
-					return m.dispatchChunk(ctx, p, spec, r, principal)
-				},
-			})
-		}
-		return chunks
+	return &harness.StealConfig{
+		ChunkCells: m.cfg.ShardChunkCells,
+		Run: func(ctx context.Context, q *harness.LeaseQueue) {
+			m.runStealSession(ctx, q, spec, principal)
+		},
 	}
 }
 
-// dispatchChunk posts one cell range to a worker, retrying on other
-// healthy peers up to Config.ShardRetries times. A failed target is
-// pulled from rotation until the health loop re-admits it. Any
-// returned error sends the chunk to the harness's local fallback pool.
-func (m *Manager) dispatchChunk(ctx context.Context, first *peer, spec JobSpec, r harness.Range, principal string) ([][]byte, error) {
+// runStealSession drives one job's remote dispatch: spawn a lease loop
+// per healthy member, keep the session open to late joiners, and wait
+// for the queue to drain.
+func (m *Manager) runStealSession(ctx context.Context, q *harness.LeaseQueue, spec JobSpec, principal string) {
+	s := &stealSession{q: q, ctx: ctx, spec: spec, principal: principal, active: make(map[string]bool)}
 	m.mu.Lock()
-	m.shardDispatchCtr.Inc()
-	retries := m.cfg.ShardRetries
+	m.sessions[s] = struct{}{}
+	for _, p := range m.peers {
+		if p.healthy {
+			s.spawnLocked(m, p)
+		}
+	}
 	m.mu.Unlock()
+	<-q.Drained()
+	m.mu.Lock()
+	s.closed = true
+	delete(m.sessions, s)
+	m.mu.Unlock()
+	s.wg.Wait()
+}
 
-	target := first
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			target = m.nextHealthyPeer(target)
-			if target == nil {
-				break
-			}
-			m.mu.Lock()
-			m.shardRetryCtr.Inc()
-			m.mu.Unlock()
-		}
-		cells, err := m.postCells(ctx, target, spec, r, principal)
-		if err == nil {
-			m.mu.Lock()
-			m.shardRemoteCtr.Add(uint64(len(cells)))
-			m.mu.Unlock()
-			return cells, nil
-		}
-		lastErr = err
+// spawnLocked starts a lease loop pulling for peer p, unless the
+// session is over or one is already running for that address. The
+// caller holds Manager.mu.
+func (s *stealSession) spawnLocked(m *Manager, p *peer) {
+	if s.closed || s.active[p.addr] {
+		return
+	}
+	s.active[p.addr] = true
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		m.peerStealLoop(s, p)
 		m.mu.Lock()
-		m.shardPeerFailCtr.Inc()
-		target.healthy = false
-		target.healthyG.Set(0)
+		delete(s.active, p.addr)
 		m.mu.Unlock()
-		if ctx.Err() != nil {
-			break // the job itself is done for; no point retrying
+	}()
+}
+
+// peerStealLoop pulls chunks for one peer until the queue drains or a
+// dispatch fails. Failure requeues the chunk at the front of the deque
+// (the next puller — another peer or the local pool — re-runs it,
+// byte-identical by seed determinism) and demotes the peer; a later
+// successful probe or re-announce re-admits it, including into this
+// very session.
+func (m *Manager) peerStealLoop(s *stealSession, p *peer) {
+	for {
+		r, ok := s.q.Lease()
+		if !ok {
+			return
 		}
+		m.mu.Lock()
+		m.shardLeaseCtr.Inc()
+		m.shardDispatchCtr.Inc()
+		m.mu.Unlock()
+		cells, err := m.postCells(s.ctx, p, s.spec, r, s.principal)
+		if err != nil {
+			s.q.Requeue(r)
+			m.notePeerFailure(p)
+			return
+		}
+		if !s.q.Complete(r, cells) {
+			// The queue rejected (and requeued) the payloads — unless the
+			// run is simply over, treat garbage like any dispatch failure.
+			if s.ctx.Err() == nil {
+				m.notePeerFailure(p)
+			}
+			return
+		}
+		m.mu.Lock()
+		m.shardStealCtr.Inc()
+		m.shardRemoteCtr.Add(uint64(len(cells)))
+		m.mu.Unlock()
 	}
+}
+
+// notePeerFailure counts one failed dispatch and pulls the peer from
+// rotation until the health loop (or its own re-announce) re-admits it.
+func (m *Manager) notePeerFailure(p *peer) {
 	m.mu.Lock()
-	m.shardFallbackCtr.Inc()
-	m.mu.Unlock()
-	if lastErr == nil {
-		lastErr = errors.New("no healthy peer")
-	}
-	return nil, fmt.Errorf("chunk [%d,%d): %w", r.From, r.To, lastErr)
+	defer m.mu.Unlock()
+	m.shardPeerFailCtr.Inc()
+	m.shardRequeueCtr.Inc()
+	p.healthy = false
+	p.healthyG.Set(0)
 }
 
 // postCells performs one dispatch attempt under the per-chunk timeout.

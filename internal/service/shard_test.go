@@ -125,14 +125,17 @@ func TestShardedJobMatchesSingleNode(t *testing.T) {
 		})
 	}
 
-	if n := counterValue(coord, "service.shard.dispatched"); n < 2 {
-		t.Errorf("dispatched = %d, want >= 2", n)
+	if n := counterValue(coord, "service.shard.leases"); n < 2 {
+		t.Errorf("leases = %d, want >= 2", n)
+	}
+	if n := counterValue(coord, "service.shard.steals"); n == 0 {
+		t.Error("no chunks completed remotely")
 	}
 	if n := counterValue(coord, "service.shard.remote_cells"); n == 0 {
 		t.Error("no cells executed remotely")
 	}
-	if n := counterValue(coord, "service.shard.fallback_local"); n != 0 {
-		t.Errorf("fallback_local = %d with healthy workers", n)
+	if n := counterValue(coord, "service.shard.requeues"); n != 0 {
+		t.Errorf("requeues = %d with healthy workers", n)
 	}
 	served := counterValue(w1, "service.shard.served_cells") + counterValue(w2, "service.shard.served_cells")
 	if served != counterValue(coord, "service.shard.remote_cells") {
@@ -140,11 +143,11 @@ func TestShardedJobMatchesSingleNode(t *testing.T) {
 	}
 }
 
-// TestShardSlowPeerTimesOutAndFallsBack injects a peer that accepts
+// TestShardSlowPeerTimesOutAndRequeues injects a peer that accepts
 // the dispatch but never answers within the chunk timeout: the
-// coordinator must count a peer failure, fall back to local execution,
-// and still produce the single-node bytes.
-func TestShardSlowPeerTimesOutAndFallsBack(t *testing.T) {
+// coordinator must count a peer failure, requeue the chunk for the
+// local pool, and still produce the single-node bytes.
+func TestShardSlowPeerTimesOutAndRequeues(t *testing.T) {
 	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
 			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -166,7 +169,6 @@ func TestShardSlowPeerTimesOutAndFallsBack(t *testing.T) {
 		MaxWorkers:        2,
 		Peers:             []string{strings.TrimPrefix(slow.URL, "http://")},
 		ShardChunkTimeout: 100 * time.Millisecond,
-		ShardRetries:      -1,
 	})
 	cts := httptest.NewServer(NewServer(coord))
 	defer cts.Close()
@@ -187,8 +189,8 @@ func TestShardSlowPeerTimesOutAndFallsBack(t *testing.T) {
 	if n := counterValue(coord, "service.shard.peer_failures"); n < 1 {
 		t.Errorf("peer_failures = %d, want >= 1", n)
 	}
-	if n := counterValue(coord, "service.shard.fallback_local"); n < 1 {
-		t.Errorf("fallback_local = %d, want >= 1", n)
+	if n := counterValue(coord, "service.shard.requeues"); n < 1 {
+		t.Errorf("requeues = %d, want >= 1", n)
 	}
 }
 
